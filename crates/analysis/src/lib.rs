@@ -1,0 +1,32 @@
+//! Log analytics and report rendering.
+//!
+//! Figure 2 of the paper ends in "*Log file → Analytics*": the serial
+//! capture is mined for evidence and aggregated into the tables and
+//! the availability chart (Figure 3). This crate is that stage:
+//!
+//! * [`logparse`] — a structured parser for the serial log (Linux
+//!   dmesg lines, hypervisor park/panic banners, RTOS heartbeats);
+//! * [`availability`] — windowed liveness metrics over the parsed log
+//!   (output rate, gap detection, the "USART completely blank" test);
+//! * [`figure`] — Figure 3 regeneration: outcome distributions as
+//!   aligned tables, ASCII bar charts and CSV, with the paper's
+//!   reported shares next to the measured ones;
+//! * [`report`] — per-experiment textual reports combining all of the
+//!   above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod export;
+pub mod figure;
+pub mod logparse;
+pub mod report;
+pub mod timeline;
+
+pub use availability::AvailabilityReport;
+pub use export::campaign_to_csv;
+pub use figure::{Figure3, PAPER_FIG3_SHARES};
+pub use logparse::{parse_line, parse_log, LogEvent, LogSource};
+pub use report::ExperimentReport;
+pub use timeline::{Timeline, TimelineEntry};

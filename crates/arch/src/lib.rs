@@ -1,0 +1,55 @@
+//! ARMv7-style architecture model for the `certify-uncertified` simulator.
+//!
+//! This crate models the subset of the ARMv7-A architecture (with the
+//! virtualization extensions) that the DSN'22 paper's fault-injection
+//! experiments observe:
+//!
+//! * a 16-entry general-purpose [`RegisterFile`] plus the status and
+//!   syndrome registers a hypervisor trap handler consumes
+//!   ([`registers`]),
+//! * processor [`mode`]s, including the `HYP` mode introduced by the
+//!   virtualization extensions,
+//! * exception [`syndrome`] encoding (the `HSR` register), including the
+//!   `0x24` *data abort from a lower exception level* class whose
+//!   unhandled variant drives the paper's *CPU park* outcome,
+//! * a GIC-like interrupt controller ([`gic`]) with software-generated
+//!   interrupts used for cross-core cell management,
+//! * per-CPU generic [`timer`]s, and
+//! * the per-CPU execution state ([`cpu`]).
+//!
+//! The model is deliberately *behavioural*, not cycle-accurate: the fault
+//! injection campaigns of the paper corrupt architecture registers at
+//! hypervisor handler entry and observe system-level outcomes, so what
+//! must be faithful is the flow of handler arguments and decisions
+//! through registers — which this crate preserves.
+//!
+//! # Example
+//!
+//! ```
+//! use certify_arch::{Cpu, CpuId, Reg};
+//!
+//! let mut cpu = Cpu::new(CpuId(0));
+//! cpu.regs.write(Reg::R0, 0x1c28_0000);
+//! assert_eq!(cpu.regs.read(Reg::R0), 0x1c28_0000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gic;
+pub mod mmu;
+pub mod mode;
+pub mod psr;
+pub mod registers;
+pub mod syndrome;
+pub mod timer;
+
+pub use cpu::{Cpu, CpuId};
+pub use gic::{Gic, IrqId, SPURIOUS_IRQ};
+pub use mmu::{AccessKind, S2Fault, S2Perms, Stage2Table};
+pub use mode::CpuMode;
+pub use psr::Psr;
+pub use registers::{Reg, RegisterFile};
+pub use syndrome::{ExceptionClass, Syndrome};
+pub use timer::GenericTimer;

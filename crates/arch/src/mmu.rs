@@ -1,0 +1,433 @@
+//! Second-stage (stage-2) translation tables.
+//!
+//! The ARMv7 virtualization extensions give the hypervisor a second
+//! translation stage: guest *intermediate physical addresses* (IPAs)
+//! are mapped to machine physical addresses with their own permission
+//! bits, and any access outside the mapping traps to HYP mode. This is
+//! the hardware mechanism behind Jailhouse's memory partitioning —
+//! and, therefore, behind every isolation claim the paper tests.
+//!
+//! The model is a faithful two-level table: a first-level table of
+//! 4 MiB entries, each either a *block* mapping, a pointer to a
+//! second-level table of 4 KiB page entries, or invalid. Identity
+//! mapping is used (IPA = PA), like Jailhouse's flat cell mappings,
+//! but the structure supports arbitrary mappings.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Page size (4 KiB).
+pub const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+/// Page shift.
+pub const PAGE_SHIFT: u32 = 12;
+/// First-level block size (4 MiB).
+pub const BLOCK_SIZE: u32 = 1 << BLOCK_SHIFT;
+/// First-level shift.
+pub const BLOCK_SHIFT: u32 = 22;
+
+/// Stage-2 access permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct S2Perms {
+    /// Reads permitted.
+    pub read: bool,
+    /// Writes permitted.
+    pub write: bool,
+    /// Instruction fetch permitted.
+    pub execute: bool,
+}
+
+impl S2Perms {
+    /// Read/write/execute.
+    pub const RWX: S2Perms = S2Perms {
+        read: true,
+        write: true,
+        execute: true,
+    };
+    /// Read/write, no execute.
+    pub const RW: S2Perms = S2Perms {
+        read: true,
+        write: true,
+        execute: false,
+    };
+    /// Read-only.
+    pub const RO: S2Perms = S2Perms {
+        read: true,
+        write: false,
+        execute: false,
+    };
+
+    /// Whether an access of the given kind is allowed.
+    pub fn allows(self, access: AccessKind) -> bool {
+        match access {
+            AccessKind::Read => self.read,
+            AccessKind::Write => self.write,
+            AccessKind::Fetch => self.execute,
+        }
+    }
+}
+
+impl fmt::Display for S2Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.execute { 'x' } else { '-' }
+        )
+    }
+}
+
+/// The kind of memory access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// A stage-2 translation fault, as delivered to the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum S2Fault {
+    /// No mapping covers the address.
+    Translation {
+        /// Faulting IPA.
+        ipa: u32,
+    },
+    /// A mapping exists but forbids this access kind.
+    Permission {
+        /// Faulting IPA.
+        ipa: u32,
+        /// The offending access kind.
+        access: AccessKind,
+    },
+}
+
+impl fmt::Display for S2Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S2Fault::Translation { ipa } => write!(f, "stage-2 translation fault at {ipa:#010x}"),
+            S2Fault::Permission { ipa, access } => {
+                write!(f, "stage-2 permission fault at {ipa:#010x} ({access:?})")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PageEntry {
+    /// Output page frame (PA >> PAGE_SHIFT).
+    frame: u32,
+    perms: S2Perms,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum L1Entry {
+    /// 4 MiB identity-style block.
+    Block { frame: u32, perms: S2Perms },
+    /// Second-level page table.
+    Table(HashMap<u32, PageEntry>),
+}
+
+/// A per-cell stage-2 translation table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stage2Table {
+    l1: HashMap<u32, L1Entry>,
+    mapped_pages: u64,
+}
+
+impl Stage2Table {
+    /// Creates an empty (all-faulting) table.
+    pub fn new() -> Stage2Table {
+        Stage2Table::default()
+    }
+
+    /// Maps `[ipa, ipa + size)` to the identical physical range with
+    /// the given permissions, coalescing whole 4 MiB-aligned spans
+    /// into block entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ipa` or `size` is not page-aligned, or the range
+    /// wraps the address space.
+    pub fn map_identity(&mut self, ipa: u32, size: u32, perms: S2Perms) {
+        assert_eq!(ipa % PAGE_SIZE, 0, "ipa must be page-aligned");
+        assert_eq!(size % PAGE_SIZE, 0, "size must be page-aligned");
+        assert!(
+            size == 0 || ipa.checked_add(size - 1).is_some(),
+            "range wraps the address space"
+        );
+        let mut addr = ipa;
+        let end = ipa.wrapping_add(size);
+        while addr != end {
+            let remaining = end.wrapping_sub(addr);
+            if addr % BLOCK_SIZE == 0 && remaining >= BLOCK_SIZE {
+                self.l1.insert(
+                    addr >> BLOCK_SHIFT,
+                    L1Entry::Block {
+                        frame: addr >> PAGE_SHIFT,
+                        perms,
+                    },
+                );
+                self.mapped_pages += u64::from(BLOCK_SIZE / PAGE_SIZE);
+                addr = addr.wrapping_add(BLOCK_SIZE);
+            } else {
+                self.map_page(addr, addr, perms);
+                addr = addr.wrapping_add(PAGE_SIZE);
+            }
+        }
+    }
+
+    /// Maps one 4 KiB page `ipa -> pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either address is not page-aligned.
+    pub fn map_page(&mut self, ipa: u32, pa: u32, perms: S2Perms) {
+        assert_eq!(ipa % PAGE_SIZE, 0, "ipa must be page-aligned");
+        assert_eq!(pa % PAGE_SIZE, 0, "pa must be page-aligned");
+        let l1_index = ipa >> BLOCK_SHIFT;
+        let entry = self
+            .l1
+            .entry(l1_index)
+            .or_insert_with(|| L1Entry::Table(HashMap::new()));
+        match entry {
+            L1Entry::Table(pages) => {
+                let fresh = pages
+                    .insert(
+                        (ipa >> PAGE_SHIFT) & 0x3ff,
+                        PageEntry {
+                            frame: pa >> PAGE_SHIFT,
+                            perms,
+                        },
+                    )
+                    .is_none();
+                if fresh {
+                    self.mapped_pages += 1;
+                }
+            }
+            L1Entry::Block { .. } => {
+                // Split the block into a page table, then map.
+                let (frame, block_perms) = match entry {
+                    L1Entry::Block { frame, perms } => (*frame, *perms),
+                    L1Entry::Table(_) => unreachable!(),
+                };
+                let mut pages = HashMap::new();
+                for i in 0..(BLOCK_SIZE / PAGE_SIZE) {
+                    pages.insert(
+                        i,
+                        PageEntry {
+                            frame: frame + i,
+                            perms: block_perms,
+                        },
+                    );
+                }
+                pages.insert(
+                    (ipa >> PAGE_SHIFT) & 0x3ff,
+                    PageEntry {
+                        frame: pa >> PAGE_SHIFT,
+                        perms,
+                    },
+                );
+                *entry = L1Entry::Table(pages);
+            }
+        }
+    }
+
+    /// Removes the mapping of `[ipa, ipa + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ipa` or `size` is not page-aligned.
+    pub fn unmap(&mut self, ipa: u32, size: u32) {
+        assert_eq!(ipa % PAGE_SIZE, 0, "ipa must be page-aligned");
+        assert_eq!(size % PAGE_SIZE, 0, "size must be page-aligned");
+        let mut addr = ipa;
+        let end = ipa.wrapping_add(size);
+        while addr != end {
+            let l1_index = addr >> BLOCK_SHIFT;
+            if addr % BLOCK_SIZE == 0
+                && end.wrapping_sub(addr) >= BLOCK_SIZE
+                && matches!(self.l1.get(&l1_index), Some(L1Entry::Block { .. }))
+            {
+                self.l1.remove(&l1_index);
+                self.mapped_pages -= u64::from(BLOCK_SIZE / PAGE_SIZE);
+                addr = addr.wrapping_add(BLOCK_SIZE);
+                continue;
+            }
+            if let Some(L1Entry::Block { frame, perms }) = self.l1.get(&l1_index).cloned() {
+                // Partial unmap of a block: split first.
+                let mut pages = HashMap::new();
+                for i in 0..(BLOCK_SIZE / PAGE_SIZE) {
+                    pages.insert(
+                        i,
+                        PageEntry {
+                            frame: frame + i,
+                            perms,
+                        },
+                    );
+                }
+                self.l1.insert(l1_index, L1Entry::Table(pages));
+            }
+            if let Some(L1Entry::Table(pages)) = self.l1.get_mut(&l1_index) {
+                if pages.remove(&((addr >> PAGE_SHIFT) & 0x3ff)).is_some() {
+                    self.mapped_pages -= 1;
+                }
+                if pages.is_empty() {
+                    self.l1.remove(&l1_index);
+                }
+            }
+            addr = addr.wrapping_add(PAGE_SIZE);
+        }
+    }
+
+    /// Translates an access: returns the physical address or the
+    /// stage-2 fault the hardware would report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2Fault::Translation`] for unmapped addresses and
+    /// [`S2Fault::Permission`] for mapped-but-forbidden accesses.
+    pub fn translate(&self, ipa: u32, access: AccessKind) -> Result<u32, S2Fault> {
+        let entry = self
+            .l1
+            .get(&(ipa >> BLOCK_SHIFT))
+            .ok_or(S2Fault::Translation { ipa })?;
+        let (frame, perms, offset) = match entry {
+            L1Entry::Block { frame, perms } => (*frame, *perms, ipa & (BLOCK_SIZE - 1)),
+            L1Entry::Table(pages) => {
+                let page = pages
+                    .get(&((ipa >> PAGE_SHIFT) & 0x3ff))
+                    .ok_or(S2Fault::Translation { ipa })?;
+                (page.frame, page.perms, ipa & (PAGE_SIZE - 1))
+            }
+        };
+        if !perms.allows(access) {
+            return Err(S2Fault::Permission { ipa, access });
+        }
+        let base = match entry {
+            L1Entry::Block { .. } => frame << PAGE_SHIFT,
+            L1Entry::Table(_) => frame << PAGE_SHIFT,
+        };
+        Ok(base | offset)
+    }
+
+    /// Number of 4 KiB pages currently mapped.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_address_faults() {
+        let table = Stage2Table::new();
+        assert_eq!(
+            table.translate(0x4000_0000, AccessKind::Read),
+            Err(S2Fault::Translation { ipa: 0x4000_0000 })
+        );
+    }
+
+    #[test]
+    fn identity_block_mapping_translates() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0000, 0x0080_0000, S2Perms::RWX);
+        assert_eq!(
+            table.translate(0x4040_1234, AccessKind::Read),
+            Ok(0x4040_1234)
+        );
+        assert_eq!(
+            table.translate(0x4000_0000, AccessKind::Fetch),
+            Ok(0x4000_0000)
+        );
+        // One byte past the end faults.
+        assert!(table.translate(0x4080_0000, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn sub_block_ranges_use_page_entries() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_1000, 0x3000, S2Perms::RW);
+        assert_eq!(table.mapped_pages(), 3);
+        assert_eq!(
+            table.translate(0x4000_2abc, AccessKind::Write),
+            Ok(0x4000_2abc)
+        );
+        assert!(table.translate(0x4000_0000, AccessKind::Read).is_err());
+        assert!(table.translate(0x4000_4000, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn permissions_are_enforced() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0000, 0x1000, S2Perms::RO);
+        assert!(table.translate(0x4000_0000, AccessKind::Read).is_ok());
+        assert_eq!(
+            table.translate(0x4000_0000, AccessKind::Write),
+            Err(S2Fault::Permission {
+                ipa: 0x4000_0000,
+                access: AccessKind::Write
+            })
+        );
+        assert!(table.translate(0x4000_0000, AccessKind::Fetch).is_err());
+    }
+
+    #[test]
+    fn non_identity_page_mapping() {
+        let mut table = Stage2Table::new();
+        table.map_page(0x0000_1000, 0x4567_8000, S2Perms::RW);
+        assert_eq!(
+            table.translate(0x0000_1040, AccessKind::Read),
+            Ok(0x4567_8040)
+        );
+    }
+
+    #[test]
+    fn mapping_a_page_splits_a_block() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0000, BLOCK_SIZE, S2Perms::RWX);
+        // Remap one page read-only.
+        table.map_page(0x4010_0000, 0x4010_0000, S2Perms::RO);
+        assert!(table.translate(0x4010_0000, AccessKind::Write).is_err());
+        // Neighbouring pages keep the block permissions.
+        assert!(table.translate(0x4010_1000, AccessKind::Write).is_ok());
+    }
+
+    #[test]
+    fn unmap_whole_block() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0000, BLOCK_SIZE, S2Perms::RWX);
+        table.unmap(0x4000_0000, BLOCK_SIZE);
+        assert!(table.translate(0x4000_0000, AccessKind::Read).is_err());
+        assert_eq!(table.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn partial_unmap_splits_block() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0000, BLOCK_SIZE, S2Perms::RW);
+        table.unmap(0x4000_0000, PAGE_SIZE);
+        assert!(table.translate(0x4000_0000, AccessKind::Read).is_err());
+        assert!(table.translate(0x4000_1000, AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn unaligned_map_rejected() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0800, 0x1000, S2Perms::RW);
+    }
+
+    #[test]
+    fn perms_display() {
+        assert_eq!(S2Perms::RWX.to_string(), "rwx");
+        assert_eq!(S2Perms::RO.to_string(), "r--");
+    }
+}

@@ -1,0 +1,38 @@
+//! E1 — high-intensity injection in root-cell context (§III prose).
+//!
+//! Paper claim: targeting `arch_handle_hvc()` and `arch_handle_trap()`
+//! in the context of the root cell at high intensity *always* returns
+//! "invalid arguments"; the root cell is not allocated at all — the
+//! correct, expected fail-stop behaviour.
+//!
+//! Regenerate with `cargo bench -p certify-bench --bench e1_root_high`.
+
+use certify_analysis::ExperimentReport;
+use certify_bench::{banner, run_and_print, DETERMINISTIC_TRIALS};
+use certify_core::campaign::Scenario;
+use criterion::{black_box, Criterion};
+
+fn regenerate() {
+    banner("E1: high intensity, root-cell context (enable attempt)");
+    let result = run_and_print(Scenario::e1_root_high(), DETERMINISTIC_TRIALS);
+    let report = ExperimentReport::e1(&result);
+    println!("{report}");
+    assert!(
+        report.reproduced,
+        "E1 shape did not reproduce:\n{report}"
+    );
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args().sample_size(20);
+    let scenario = Scenario::e1_root_high();
+    criterion.bench_function("e1_single_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.run_trial(seed))
+        });
+    });
+    criterion.final_summary();
+}

@@ -1,0 +1,56 @@
+//! E2 — high-intensity injection filtered to CPU 1 (§III prose).
+//!
+//! Paper claim: the cell is allocated but either the CPU fails to come
+//! online (hot-plug swap) or the cell is left non-executable; the
+//! USART stays completely blank, yet Jailhouse reports the cell
+//! running; `cell shutdown` still returns the CPU and peripherals to
+//! the root cell. An inconsistent — and dangerous — state.
+//!
+//! Two campaigns: the boot-window-aligned one (deterministic
+//! reproduction of the peculiar observation) and the free-running one
+//! (cadence phase swept per seed; inconsistent states appear alongside
+//! isolated CPU parks).
+//!
+//! Regenerate with `cargo bench -p certify-bench --bench e2_nonroot_high`.
+
+use certify_analysis::ExperimentReport;
+use certify_bench::{banner, run_and_print, BASE_SEED, DETERMINISTIC_TRIALS};
+use certify_core::campaign::Scenario;
+use certify_core::Outcome;
+use criterion::{black_box, Criterion};
+
+fn regenerate() {
+    banner("E2a: boot-window aligned (deterministic)");
+    let boot_window = run_and_print(Scenario::e2_boot_window(), DETERMINISTIC_TRIALS);
+
+    banner("E2b: free-running lifecycle cycling");
+    let full = run_and_print(Scenario::e2_nonroot_high(), 80);
+
+    // The paper's three supporting observations, checked on one
+    // boot-window trial:
+    banner("E2: inconsistent-state anatomy (one trial)");
+    let trial = Scenario::e2_boot_window().run_trial(BASE_SEED);
+    println!("outcome:     {}", trial.outcome);
+    for note in &trial.report.notes {
+        println!("evidence:    {note}");
+    }
+    assert_eq!(trial.outcome, Outcome::InconsistentState);
+
+    let report = ExperimentReport::e2(&boot_window, &full);
+    println!("{report}");
+    assert!(report.reproduced, "E2 shape did not reproduce:\n{report}");
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args().sample_size(10);
+    let scenario = Scenario::e2_boot_window();
+    criterion.bench_function("e2_boot_window_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.run_trial(seed))
+        });
+    });
+    criterion.final_summary();
+}

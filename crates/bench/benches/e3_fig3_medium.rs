@@ -1,0 +1,42 @@
+//! E3 — Figure 3: non-root cell availability under medium-intensity
+//! injection into `arch_handle_trap()`.
+//!
+//! Paper claim: the cell behaves correctly in the majority of cases;
+//! in ~30 % a *panic park* happens (the fault propagates to the whole
+//! system, kernel panic); a limited number of tests end in a *CPU
+//! park* (unhandled trap `0x24`, `cpu_park()` called, fault isolated —
+//! destroying the cell returns CPU 1 without issue).
+//!
+//! Regenerate with `cargo bench -p certify-bench --bench e3_fig3_medium`.
+
+use certify_analysis::{ExperimentReport, Figure3};
+use certify_bench::{banner, run_and_print, DISTRIBUTION_TRIALS};
+use certify_core::campaign::Scenario;
+use criterion::{black_box, Criterion};
+
+fn regenerate() {
+    banner("E3: Figure 3 — medium intensity on non-root arch_handle_trap");
+    let result = run_and_print(Scenario::e3_fig3(), DISTRIBUTION_TRIALS);
+
+    let figure = Figure3::from_campaign(&result);
+    println!("{}", figure.render_chart());
+    println!("CSV:\n{}", figure.render_csv());
+
+    let report = ExperimentReport::e3(&result);
+    println!("{report}");
+    assert!(report.reproduced, "Figure 3 shape did not reproduce:\n{report}");
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args().sample_size(10);
+    let scenario = Scenario::e3_fig3();
+    criterion.bench_function("e3_single_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.run_trial(seed))
+        });
+    });
+    criterion.final_summary();
+}

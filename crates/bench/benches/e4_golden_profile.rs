@@ -1,0 +1,31 @@
+//! E4 — golden-run profiling of the injection points (§III).
+//!
+//! Paper claim: monitoring golden (fault-free) runs of the hypervisor
+//! yields three candidate functions — `irqchip_handle_irq()`,
+//! `arch_handle_trap()` and `arch_handle_hvc()` — the virtualization-
+//! extension entry points of the ARMv7 port.
+//!
+//! Regenerate with `cargo bench -p certify-bench --bench e4_golden_profile`.
+
+use certify_analysis::ExperimentReport;
+use certify_bench::banner;
+use certify_core::profiler::profile_golden_run;
+use criterion::{black_box, Criterion};
+
+fn regenerate() {
+    banner("E4: golden-run profile");
+    let profile = profile_golden_run(3000);
+    println!("{profile}");
+    let report = ExperimentReport::e4(&profile);
+    println!("{report}");
+    assert!(report.reproduced, "E4 did not reproduce:\n{report}");
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args().sample_size(10);
+    criterion.bench_function("golden_profile_3000_steps", |b| {
+        b.iter(|| black_box(profile_golden_run(3000)));
+    });
+    criterion.final_summary();
+}

@@ -1,0 +1,79 @@
+//! E5 — extension experiments: turning the paper's dangerous outcomes
+//! into *detected* events.
+//!
+//! The paper closes by asking for mechanisms that would move Jailhouse
+//! towards certifiability. Two classics are evaluated here:
+//!
+//! * **E5a** — an armed hardware watchdog, fed from the root kernel's
+//!   heartbeat path: every *panic park* (silent whole-system death in
+//!   the paper) now produces a watchdog expiry, with a measurable
+//!   detection latency.
+//! * **E5b** — a shared-memory heartbeat from the FreeRTOS cell plus a
+//!   root-side safety monitor: every E2 *inconsistent state* (cell
+//!   reported running but dead) now raises an alarm.
+//!
+//! Regenerate with `cargo bench -p certify-bench --bench extensions`.
+
+use certify_analysis::ExperimentReport;
+use certify_bench::{banner, run_and_print, DISTRIBUTION_TRIALS};
+use certify_core::campaign::Scenario;
+use certify_core::Outcome;
+use criterion::{black_box, Criterion};
+
+fn e5a() {
+    banner("E5a: Figure-3 campaign with the hardware watchdog armed");
+    let result = run_and_print(Scenario::e5a_watchdog(), DISTRIBUTION_TRIALS);
+    let report = ExperimentReport::e5a(&result);
+    println!("{report}");
+
+    // Detection-latency detail for a few panic trials.
+    for trial in result
+        .trials
+        .iter()
+        .filter(|t| t.outcome == Outcome::PanicPark)
+        .take(5)
+    {
+        println!(
+            "seed {:>6}: watchdog first expiry at step {:?}",
+            trial.seed, trial.report.watchdog_first_expiry
+        );
+    }
+    assert!(report.reproduced, "E5a did not reproduce:\n{report}");
+}
+
+fn e5b() {
+    banner("E5b: boot-window E2 with heartbeat + safety monitor");
+    let result = run_and_print(Scenario::e5b_monitor(), 40);
+    let report = ExperimentReport::e5b(&result);
+    println!("{report}");
+    assert!(report.reproduced, "E5b did not reproduce:\n{report}");
+
+    banner("E5b control: golden run with monitor (no false alarms)");
+    let mut golden = Scenario::e5b_monitor();
+    golden.name = "e5b-golden-control".into();
+    golden.spec = None;
+    let control = run_and_print(golden, 10);
+    let false_alarms: usize = control
+        .trials
+        .iter()
+        .map(|t| t.report.monitor_alarms)
+        .sum();
+    println!("false alarms across golden trials: {false_alarms}");
+    assert_eq!(false_alarms, 0, "monitor raised false alarms");
+}
+
+fn main() {
+    e5a();
+    e5b();
+
+    let mut criterion = Criterion::default().configure_from_args().sample_size(10);
+    let scenario = Scenario::e5b_monitor();
+    criterion.bench_function("e5b_monitor_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.run_trial(seed))
+        });
+    });
+    criterion.final_summary();
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the benchmark/figure harnesses.
+//!
+//! Each bench target regenerates one experiment of the paper: it runs
+//! the campaign, prints the same rows/series the paper reports (with
+//! the paper's numbers alongside), and then takes Criterion timings of
+//! the per-trial cost so the harness doubles as a performance
+//! regression net.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use certify_core::campaign::{Campaign, CampaignResult, Scenario};
+
+/// Default trial count for distribution-style experiments.
+pub const DISTRIBUTION_TRIALS: usize = 150;
+/// Default trial count for deterministic experiments.
+pub const DETERMINISTIC_TRIALS: usize = 40;
+/// Base seed for all benches (any value works; fixed for
+/// reproducibility of the printed tables).
+pub const BASE_SEED: u64 = 0xD5_2022;
+
+/// Runs a campaign on all available cores and prints its distribution.
+pub fn run_and_print(scenario: Scenario, trials: usize) -> CampaignResult {
+    let campaign = Campaign::new(scenario, trials, BASE_SEED);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let result = campaign.run_parallel(workers);
+    println!("{result}");
+    result
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}

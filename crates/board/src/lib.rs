@@ -1,0 +1,47 @@
+//! Banana-Pi-like board model for the `certify-uncertified` simulator.
+//!
+//! The paper's testbed is a Banana Pi: a dual-core ARM Cortex-A7 SoC
+//! (Allwinner A20) with 1 GB of RAM, a UART wired to a serial console
+//! (the only observation channel of the experiments besides the onboard
+//! LED), and a GPIO-driven green LED that one FreeRTOS task blinks.
+//!
+//! This crate provides:
+//!
+//! * the physical [`memmap`] (RAM window, UART and GPIO register
+//!   blocks, hypervisor-reserved carve-out),
+//! * byte-addressable [`ram`] backing storage,
+//! * a capturing [`uart`] (everything any guest prints is recorded and
+//!   later mined by `certify-analysis`),
+//! * a [`gpio`] block with per-pin toggle counters (LED liveness is an
+//!   availability signal in Figure 3),
+//! * and the [`machine`] tying two [`certify_arch::Cpu`]s, the GIC, the
+//!   per-core timers and the devices together behind a bus-like
+//!   [`machine::Machine::read32`]/[`machine::Machine::write32`]
+//!   interface with bus-fault reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use certify_board::{Machine, memmap};
+//!
+//! let mut machine = Machine::new_banana_pi();
+//! machine.write32(memmap::RAM_BASE, 0xdead_beef)?;
+//! assert_eq!(machine.read32(memmap::RAM_BASE)?, 0xdead_beef);
+//! # Ok::<(), certify_board::BusFault>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gpio;
+pub mod machine;
+pub mod memmap;
+pub mod ram;
+pub mod uart;
+pub mod watchdog;
+
+pub use gpio::Gpio;
+pub use machine::{BusFault, Machine, MmioDevice};
+pub use ram::Ram;
+pub use uart::Uart;
+pub use watchdog::Watchdog;

@@ -1,0 +1,236 @@
+//! Byte-addressable RAM with sparse page-granular backing.
+//!
+//! The board has 1 GiB of DRAM but the simulation touches only a tiny
+//! fraction of it, so storage is allocated lazily in 4 KiB pages. Reads
+//! from untouched pages return zero, like freshly initialised DRAM in
+//! the model's idealisation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+
+/// Sparse RAM covering `[base, base + size)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ram {
+    base: u32,
+    size: u32,
+    pages: HashMap<u32, Vec<u8>>,
+}
+
+/// Error returned for accesses outside the RAM window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfRange {
+    /// The faulting address.
+    pub addr: u32,
+}
+
+impl std::fmt::Display for OutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "address 0x{:08x} outside RAM window", self.addr)
+    }
+}
+
+impl std::error::Error for OutOfRange {}
+
+impl Ram {
+    /// Creates a RAM window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or the window wraps the address space.
+    pub fn new(base: u32, size: u32) -> Ram {
+        assert!(size > 0, "RAM size must be non-zero");
+        assert!(
+            base.checked_add(size - 1).is_some(),
+            "RAM window must not wrap the 32-bit address space"
+        );
+        Ram {
+            base,
+            size,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Base address of the window.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Window size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Whether `addr` falls inside the window.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.size
+    }
+
+    fn check(&self, addr: u32, len: u32) -> Result<(), OutOfRange> {
+        if !self.contains(addr) || !self.contains(addr + (len - 1)) {
+            return Err(OutOfRange { addr });
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] if `addr` is outside the window.
+    pub fn read8(&self, addr: u32) -> Result<u8, OutOfRange> {
+        self.check(addr, 1)?;
+        let offset = addr - self.base;
+        let page = offset >> PAGE_SHIFT;
+        Ok(self
+            .pages
+            .get(&page)
+            .map(|p| p[(offset & (PAGE_SIZE - 1)) as usize])
+            .unwrap_or(0))
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] if `addr` is outside the window.
+    pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), OutOfRange> {
+        self.check(addr, 1)?;
+        let offset = addr - self.base;
+        let page = offset >> PAGE_SHIFT;
+        let entry = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| vec![0; PAGE_SIZE as usize]);
+        entry[(offset & (PAGE_SIZE - 1)) as usize] = value;
+        Ok(())
+    }
+
+    /// Reads a little-endian 32-bit word (no alignment requirement; the
+    /// Cortex-A7 supports unaligned accesses to normal memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] if any byte falls outside the window.
+    pub fn read32(&self, addr: u32) -> Result<u32, OutOfRange> {
+        self.check(addr, 4)?;
+        let mut value = 0u32;
+        for i in 0..4 {
+            value |= u32::from(self.read8(addr + i)?) << (8 * i);
+        }
+        Ok(value)
+    }
+
+    /// Writes a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] if any byte falls outside the window.
+    pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), OutOfRange> {
+        self.check(addr, 4)?;
+        for i in 0..4 {
+            self.write8(addr + i, (value >> (8 * i)) as u8)?;
+        }
+        Ok(())
+    }
+
+    /// Number of 4 KiB pages actually materialised.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Zeroes a sub-range (page contents only where resident). Used to
+    /// scrub cell memory on destruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] if the range leaves the window.
+    pub fn zero_range(&mut self, addr: u32, len: u32) -> Result<(), OutOfRange> {
+        if len == 0 {
+            return Ok(());
+        }
+        self.check(addr, len)?;
+        let start = u64::from(addr - self.base);
+        let end = start + u64::from(len);
+        for (&page, data) in self.pages.iter_mut() {
+            let page_start = u64::from(page) << PAGE_SHIFT;
+            let page_end = page_start + u64::from(PAGE_SIZE);
+            let lo = start.max(page_start);
+            let hi = end.min(page_end);
+            if lo < hi {
+                let a = (lo - page_start) as usize;
+                let b = (hi - page_start) as usize;
+                data[a..b].fill(0);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Ram {
+        Ram::new(0x4000_0000, 0x1_0000)
+    }
+
+    #[test]
+    fn fresh_ram_reads_zero() {
+        let ram = small();
+        assert_eq!(ram.read32(0x4000_0000).unwrap(), 0);
+        assert_eq!(ram.read8(0x4000_ffff).unwrap(), 0);
+        assert_eq!(ram.resident_pages(), 0);
+    }
+
+    #[test]
+    fn word_round_trip_little_endian() {
+        let mut ram = small();
+        ram.write32(0x4000_0100, 0x0102_0304).unwrap();
+        assert_eq!(ram.read32(0x4000_0100).unwrap(), 0x0102_0304);
+        assert_eq!(ram.read8(0x4000_0100).unwrap(), 0x04);
+        assert_eq!(ram.read8(0x4000_0103).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn unaligned_word_across_page_boundary() {
+        let mut ram = small();
+        let addr = 0x4000_0000 + 0x1000 - 2;
+        ram.write32(addr, 0xaabb_ccdd).unwrap();
+        assert_eq!(ram.read32(addr).unwrap(), 0xaabb_ccdd);
+        assert_eq!(ram.resident_pages(), 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut ram = small();
+        assert!(ram.read8(0x3fff_ffff).is_err());
+        assert!(ram.write8(0x4001_0000, 1).is_err());
+        // Word straddling the end of the window.
+        assert!(ram.read32(0x4000_fffe).is_err());
+    }
+
+    #[test]
+    fn zero_range_scrubs_resident_pages_only() {
+        let mut ram = small();
+        ram.write32(0x4000_2000, 0xffff_ffff).unwrap();
+        ram.zero_range(0x4000_2000, 0x100).unwrap();
+        assert_eq!(ram.read32(0x4000_2000).unwrap(), 0);
+        // Non-resident pages stay non-resident.
+        assert_eq!(ram.resident_pages(), 1);
+    }
+
+    #[test]
+    fn zero_len_zero_range_is_noop() {
+        let mut ram = small();
+        ram.zero_range(0x4000_0000, 0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not wrap")]
+    fn wrapping_window_rejected() {
+        let _ = Ram::new(0xffff_f000, 0x2000);
+    }
+}

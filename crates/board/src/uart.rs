@@ -1,0 +1,188 @@
+//! Capturing UART model.
+//!
+//! In the paper, "the outcome is sent to an empty shell where the board
+//! serial port is connected" and the log file is the raw material of
+//! all analytics. The modelled UART therefore does two jobs:
+//!
+//! 1. behave like a 16550-ish transmit path (writes to `THR` emit a
+//!    byte; `LSR` always reports the transmitter empty), and
+//! 2. record everything, tagged with the step at which it was written,
+//!    so `certify-analysis` can reconstruct *when* output stopped — the
+//!    "USART output left completely blank" observation of experiment E2
+//!    is precisely a gap in this record.
+
+use crate::memmap::{UART_LSR_OFFSET, UART_THR_OFFSET};
+use serde::{Deserialize, Serialize};
+
+/// Line-status value reported by the model: transmitter always empty
+/// (bits 5 and 6).
+pub const LSR_TX_EMPTY: u32 = 0x60;
+
+/// A byte captured on the serial wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxByte {
+    /// Simulator step at which the byte was transmitted.
+    pub step: u64,
+    /// The byte.
+    pub byte: u8,
+}
+
+/// The UART device.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Uart {
+    captured: Vec<TxByte>,
+}
+
+impl Uart {
+    /// Creates an idle UART with an empty capture buffer.
+    pub fn new() -> Uart {
+        Uart::default()
+    }
+
+    /// Handles a 32-bit register write at `offset` within the UART
+    /// block at simulator step `step`.
+    pub fn write_reg(&mut self, offset: u32, value: u32, step: u64) {
+        if offset == UART_THR_OFFSET {
+            self.captured.push(TxByte {
+                step,
+                byte: (value & 0xff) as u8,
+            });
+        }
+        // All other registers are write-ignored in the model.
+    }
+
+    /// Handles a 32-bit register read at `offset`.
+    pub fn read_reg(&self, offset: u32) -> u32 {
+        if offset == UART_LSR_OFFSET {
+            LSR_TX_EMPTY
+        } else {
+            0
+        }
+    }
+
+    /// Transmits a whole string (convenience used by guest models that
+    /// print line-at-a-time).
+    pub fn write_str(&mut self, s: &str, step: u64) {
+        for b in s.bytes() {
+            self.write_reg(UART_THR_OFFSET, u32::from(b), step);
+        }
+    }
+
+    /// Every captured byte in transmission order.
+    pub fn captured(&self) -> &[TxByte] {
+        &self.captured
+    }
+
+    /// Total bytes transmitted.
+    pub fn byte_count(&self) -> usize {
+        self.captured.len()
+    }
+
+    /// The step of the last transmitted byte, or `None` if the wire has
+    /// been silent.
+    pub fn last_activity(&self) -> Option<u64> {
+        self.captured.last().map(|b| b.step)
+    }
+
+    /// Reassembles the capture into text lines (lossy UTF-8), each with
+    /// the step of its final byte. This is the "log file" of Figure 2.
+    pub fn lines(&self) -> Vec<(u64, String)> {
+        let mut lines = Vec::new();
+        let mut current = Vec::new();
+        let mut last_step = 0;
+        for tx in &self.captured {
+            last_step = tx.step;
+            if tx.byte == b'\n' {
+                lines.push((last_step, String::from_utf8_lossy(&current).into_owned()));
+                current.clear();
+            } else {
+                current.push(tx.byte);
+            }
+        }
+        if !current.is_empty() {
+            lines.push((last_step, String::from_utf8_lossy(&current).into_owned()));
+        }
+        lines
+    }
+
+    /// Bytes transmitted at or after `step` — used to check whether a
+    /// cell produced *any* output after an event (E2's blank-USART
+    /// check).
+    pub fn bytes_since(&self, step: u64) -> usize {
+        self.captured.iter().filter(|b| b.step >= step).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thr_writes_are_captured_in_order() {
+        let mut uart = Uart::new();
+        uart.write_reg(UART_THR_OFFSET, u32::from(b'h'), 1);
+        uart.write_reg(UART_THR_OFFSET, u32::from(b'i'), 2);
+        assert_eq!(uart.byte_count(), 2);
+        assert_eq!(uart.captured()[0].byte, b'h');
+        assert_eq!(uart.captured()[1].byte, b'i');
+    }
+
+    #[test]
+    fn non_thr_writes_ignored() {
+        let mut uart = Uart::new();
+        uart.write_reg(0x4, 0xff, 1);
+        uart.write_reg(UART_LSR_OFFSET, 0xff, 1);
+        assert_eq!(uart.byte_count(), 0);
+    }
+
+    #[test]
+    fn lsr_reports_tx_empty() {
+        let uart = Uart::new();
+        assert_eq!(uart.read_reg(UART_LSR_OFFSET), LSR_TX_EMPTY);
+        assert_eq!(uart.read_reg(0x8), 0);
+    }
+
+    #[test]
+    fn lines_reassemble_on_newline() {
+        let mut uart = Uart::new();
+        uart.write_str("boot ok\nsecond", 10);
+        let lines = uart.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], (10, "boot ok".to_string()));
+        assert_eq!(lines[1], (10, "second".to_string()));
+    }
+
+    #[test]
+    fn only_low_byte_of_thr_value_is_sent() {
+        let mut uart = Uart::new();
+        uart.write_reg(UART_THR_OFFSET, 0x1234_5641, 3);
+        assert_eq!(uart.captured()[0].byte, 0x41);
+    }
+
+    #[test]
+    fn bytes_since_counts_boundary_inclusive() {
+        let mut uart = Uart::new();
+        uart.write_str("a", 5);
+        uart.write_str("b", 9);
+        assert_eq!(uart.bytes_since(5), 2);
+        assert_eq!(uart.bytes_since(6), 1);
+        assert_eq!(uart.bytes_since(10), 0);
+    }
+
+    #[test]
+    fn last_activity_tracks_final_byte() {
+        let mut uart = Uart::new();
+        assert_eq!(uart.last_activity(), None);
+        uart.write_str("x", 42);
+        assert_eq!(uart.last_activity(), Some(42));
+    }
+
+    #[test]
+    fn lossy_utf8_never_panics() {
+        let mut uart = Uart::new();
+        uart.write_reg(UART_THR_OFFSET, 0xff, 1);
+        uart.write_reg(UART_THR_OFFSET, u32::from(b'\n'), 1);
+        let lines = uart.lines();
+        assert_eq!(lines.len(), 1);
+    }
+}

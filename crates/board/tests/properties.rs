@@ -1,0 +1,104 @@
+//! Property-based tests for the board model.
+
+use certify_board::{memmap, Machine, Ram};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// RAM behaves like a sparse byte map: a random sequence of writes
+    /// and reads matches a HashMap reference model.
+    #[test]
+    fn ram_matches_reference_model(
+        ops in proptest::collection::vec((0u32..0x4000, any::<u8>(), any::<bool>()), 1..200)
+    ) {
+        let mut ram = Ram::new(0x4000_0000, 0x4000);
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        for (offset, value, is_write) in ops {
+            let addr = 0x4000_0000 + offset;
+            if is_write {
+                ram.write8(addr, value).unwrap();
+                model.insert(addr, value);
+            } else {
+                let expected = model.get(&addr).copied().unwrap_or(0);
+                prop_assert_eq!(ram.read8(addr).unwrap(), expected);
+            }
+        }
+    }
+
+    /// 32-bit RAM accesses are consistent with four byte accesses at
+    /// any (possibly unaligned) address.
+    #[test]
+    fn word_access_equals_four_byte_accesses(offset in 0u32..0x3ffc, value in any::<u32>()) {
+        let mut ram = Ram::new(0x4000_0000, 0x4000);
+        let addr = 0x4000_0000 + offset;
+        ram.write32(addr, value).unwrap();
+        let mut reassembled = 0u32;
+        for i in 0..4 {
+            reassembled |= u32::from(ram.read8(addr + i).unwrap()) << (8 * i);
+        }
+        prop_assert_eq!(reassembled, value);
+    }
+
+    /// The bus decodes every address to exactly one target: device
+    /// decode and RAM decode never overlap.
+    #[test]
+    fn bus_decode_is_unambiguous(addr in any::<u32>()) {
+        let device = Machine::decode_device(addr).is_some();
+        let ram = Machine::is_ram(addr);
+        prop_assert!(!(device && ram), "address {:#010x} decodes twice", addr);
+    }
+
+    /// Whatever is written to the UART THR appears in the capture, in
+    /// order, truncated to a byte.
+    #[test]
+    fn uart_capture_is_faithful(values in proptest::collection::vec(any::<u32>(), 1..50)) {
+        let mut machine = Machine::new_banana_pi();
+        for v in &values {
+            machine
+                .write32(memmap::UART_BASE + memmap::UART_THR_OFFSET, *v)
+                .unwrap();
+        }
+        let captured: Vec<u8> = machine.uart.captured().iter().map(|b| b.byte).collect();
+        let expected: Vec<u8> = values.iter().map(|v| (*v & 0xff) as u8).collect();
+        prop_assert_eq!(captured, expected);
+    }
+
+    /// GPIO toggle counters equal the number of actual level changes,
+    /// regardless of the write pattern.
+    #[test]
+    fn gpio_toggle_count_matches_level_changes(
+        writes in proptest::collection::vec(any::<u32>(), 1..60),
+        pin in 0u8..32,
+    ) {
+        let mut machine = Machine::new_banana_pi();
+        let mut level = false;
+        let mut changes = 0u64;
+        for w in &writes {
+            machine
+                .write32(memmap::GPIO_BASE + memmap::GPIO_DATA_OFFSET, *w)
+                .unwrap();
+            let new_level = w & (1 << pin) != 0;
+            if new_level != level {
+                changes += 1;
+                level = new_level;
+            }
+        }
+        prop_assert_eq!(machine.gpio.toggle_count(pin), changes);
+    }
+
+    /// Zeroing any sub-range really zeroes exactly that range.
+    #[test]
+    fn zero_range_is_exact(start in 0u32..0x1000, len in 0u32..0x1000) {
+        let mut ram = Ram::new(0x4000_0000, 0x2000);
+        prop_assume!(start + len <= 0x2000);
+        for offset in (0..0x2000).step_by(64) {
+            ram.write8(0x4000_0000 + offset, 0xab).unwrap();
+        }
+        ram.zero_range(0x4000_0000 + start, len).unwrap();
+        for offset in (0..0x2000).step_by(64) {
+            let inside = offset >= start && offset < start + len;
+            let expected = if inside { 0 } else { 0xab };
+            prop_assert_eq!(ram.read8(0x4000_0000 + offset).unwrap(), expected);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Campaigns: seeded batches of independent trials.
+//!
+//! A *scenario* fixes the workload (management script), the injection
+//! specification and the test duration; a *campaign* runs many seeded
+//! trials of one scenario and aggregates the outcome distribution —
+//! the data behind Figure 3. Trials are independent systems, so they
+//! can run on parallel threads (cf. the "No PAIN, no gain?" parallel
+//! fault injection study the paper cites [10]).
+
+use crate::classify::{classify, Outcome, RunReport};
+use crate::spec::InjectionSpec;
+use crate::system::System;
+use certify_guest_linux::MgmtScript;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fully specified experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// The root-cell management script.
+    pub script: MgmtScript,
+    /// The injection specification; `None` = golden run.
+    pub spec: Option<InjectionSpec>,
+    /// Simulator steps per trial (the paper's "each test lasts 1
+    /// min" becomes a fixed step budget).
+    pub steps: u64,
+    /// Whether the RTOS workload includes the E5b safety-heartbeat
+    /// task.
+    pub rtos_heartbeat: bool,
+}
+
+impl Scenario {
+    /// Golden (fault-free) bring-up scenario.
+    pub fn golden(steps: u64) -> Scenario {
+        Scenario {
+            name: "golden".into(),
+            script: MgmtScript::bring_up_and_run(steps),
+            spec: None,
+            steps,
+            rtos_heartbeat: false,
+        }
+    }
+
+    /// E1: high-intensity injection on the root-context handlers
+    /// during hypervisor enable. The script issues 49 info polls
+    /// before the enable, so the enable itself is the 50th
+    /// hypercall — the injection cadence of the paper's high
+    /// intensity lands exactly on it.
+    pub fn e1_root_high() -> Scenario {
+        Scenario {
+            name: "e1-root-high".into(),
+            script: MgmtScript::enable_attempt(49),
+            spec: Some(InjectionSpec::e1_root_high()),
+            steps: 400,
+            rtos_heartbeat: false,
+        }
+    }
+
+    /// E2: high-intensity injection filtered to CPU 1 while the root
+    /// cell cycles the FreeRTOS cell lifecycle.
+    pub fn e2_nonroot_high() -> Scenario {
+        Scenario {
+            name: "e2-nonroot-high".into(),
+            script: MgmtScript::lifecycle_cycling(150),
+            spec: Some(InjectionSpec::e2_nonroot_high()),
+            steps: 8000,
+            rtos_heartbeat: false,
+        }
+    }
+
+    /// E2, boot-window aligned: the single injection lands exactly on
+    /// the `CPU_BOOT` hypercall — the deterministic reproduction of
+    /// the paper's inconsistent-state observation.
+    pub fn e2_boot_window() -> Scenario {
+        Scenario {
+            name: "e2-boot-window".into(),
+            script: MgmtScript::bring_up_and_run(1500),
+            spec: Some(InjectionSpec::e2_boot_window()),
+            steps: 2500,
+            rtos_heartbeat: false,
+        }
+    }
+
+    /// E3 (Figure 3): medium-intensity injection on the non-root
+    /// cell's `arch_handle_trap` during steady-state operation.
+    pub fn e3_fig3() -> Scenario {
+        Scenario {
+            name: "e3-fig3-medium".into(),
+            script: MgmtScript::bring_up_and_run(u64::MAX / 2),
+            spec: Some(InjectionSpec::e3_nonroot_trap_medium()),
+            steps: 4500,
+            rtos_heartbeat: false,
+        }
+    }
+
+    /// E5a (extension): the Figure-3 campaign with the hardware
+    /// watchdog armed — the root kernel feeds it from its heartbeat
+    /// path, so *panic park* outcomes become detected events.
+    pub fn e5a_watchdog() -> Scenario {
+        Scenario {
+            name: "e5a-watchdog".into(),
+            script: MgmtScript::bring_up_with_watchdog(u64::MAX / 2),
+            spec: Some(InjectionSpec::e3_nonroot_trap_medium()),
+            steps: 4500,
+            rtos_heartbeat: false,
+        }
+    }
+
+    /// E5b (extension): the boot-window E2 scenario with the cell
+    /// heartbeat + root-side safety monitor — the silent
+    /// *inconsistent state* becomes a detected alarm.
+    pub fn e5b_monitor() -> Scenario {
+        Scenario {
+            name: "e5b-monitor".into(),
+            script: MgmtScript::bring_up_with_monitor(3000, 128),
+            spec: Some(InjectionSpec::e2_boot_window()),
+            steps: 4000,
+            rtos_heartbeat: true,
+        }
+    }
+
+    /// Runs one seeded trial of this scenario.
+    pub fn run_trial(&self, seed: u64) -> TrialResult {
+        let mut system = if self.rtos_heartbeat {
+            System::new_with_heartbeat(self.script.clone())
+        } else {
+            System::new(self.script.clone())
+        };
+        if let Some(spec) = &self.spec {
+            system.install_injector(spec.clone(), seed);
+        }
+        system.run(self.steps);
+        let report = classify(&system);
+        TrialResult {
+            seed,
+            outcome: report.outcome,
+            injection_count: report.injections.len(),
+            report,
+        }
+    }
+}
+
+/// One trial's result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// The trial's RNG seed.
+    pub seed: u64,
+    /// The classified outcome.
+    pub outcome: Outcome,
+    /// Number of injections that fired.
+    pub injection_count: usize,
+    /// The full classified report.
+    pub report: RunReport,
+}
+
+/// A campaign: `trials` seeded runs of one scenario.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    scenario: Scenario,
+    trials: usize,
+    base_seed: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign of `trials` runs seeded `base_seed + i`.
+    pub fn new(scenario: Scenario, trials: usize, base_seed: u64) -> Campaign {
+        Campaign {
+            scenario,
+            trials,
+            base_seed,
+        }
+    }
+
+    /// The scenario under test.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs all trials sequentially.
+    pub fn run(&self) -> CampaignResult {
+        let trials = (0..self.trials)
+            .map(|i| self.scenario.run_trial(self.base_seed + i as u64))
+            .collect();
+        CampaignResult {
+            scenario_name: self.scenario.name.clone(),
+            trials,
+        }
+    }
+
+    /// Runs all trials across `workers` threads (trials are fully
+    /// independent systems).
+    pub fn run_parallel(&self, workers: usize) -> CampaignResult {
+        let workers = workers.max(1);
+        let mut results: Vec<Option<TrialResult>> = (0..self.trials).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let scenario = &self.scenario;
+        let base_seed = self.base_seed;
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                let next = &next;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= self.trials {
+                            break;
+                        }
+                        local.push((i, scenario.run_trial(base_seed + i as u64)));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                for (i, result) in handle.join().expect("campaign worker panicked") {
+                    results[i] = Some(result);
+                }
+            }
+        })
+        .expect("campaign scope panicked");
+        CampaignResult {
+            scenario_name: self.scenario.name.clone(),
+            trials: results.into_iter().map(|r| r.expect("trial ran")).collect(),
+        }
+    }
+}
+
+/// Aggregated campaign outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The scenario that was run.
+    pub scenario_name: String,
+    /// All trial results, in seed order.
+    pub trials: Vec<TrialResult>,
+}
+
+impl CampaignResult {
+    /// Outcome histogram.
+    pub fn distribution(&self) -> BTreeMap<Outcome, usize> {
+        let mut map = BTreeMap::new();
+        for trial in &self.trials {
+            *map.entry(trial.outcome).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Fraction of trials with the given outcome.
+    pub fn fraction(&self, outcome: Outcome) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        let count = self
+            .trials
+            .iter()
+            .filter(|t| t.outcome == outcome)
+            .count();
+        count as f64 / self.trials.len() as f64
+    }
+
+    /// Trials that experienced at least one injection.
+    pub fn injected_trials(&self) -> usize {
+        self.trials.iter().filter(|t| t.injection_count > 0).count()
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign {} ({} trials, {} injected)",
+            self.scenario_name,
+            self.trials.len(),
+            self.injected_trials()
+        )?;
+        for (outcome, count) in self.distribution() {
+            writeln!(
+                f,
+                "  {outcome:>20}: {count:4} ({:5.1}%)",
+                100.0 * self.fraction(outcome)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_campaign_is_all_correct() {
+        let campaign = Campaign::new(Scenario::golden(1500), 2, 1);
+        let result = campaign.run();
+        assert_eq!(result.trials.len(), 2);
+        for trial in &result.trials {
+            assert_eq!(trial.outcome, Outcome::Correct);
+            assert_eq!(trial.injection_count, 0);
+        }
+        assert_eq!(result.fraction(Outcome::Correct), 1.0);
+    }
+
+    #[test]
+    fn e1_trials_always_reject_cleanly() {
+        let campaign = Campaign::new(Scenario::e1_root_high(), 4, 100);
+        let result = campaign.run();
+        for trial in &result.trials {
+            assert_eq!(
+                trial.outcome,
+                Outcome::InvalidArguments,
+                "seed {}: {}",
+                trial.seed,
+                trial.report
+            );
+            assert!(trial.injection_count >= 1, "injection did not fire");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let campaign = Campaign::new(Scenario::e1_root_high(), 4, 7);
+        let seq = campaign.run();
+        let par = campaign.run_parallel(4);
+        let seq_outcomes: Vec<Outcome> = seq.trials.iter().map(|t| t.outcome).collect();
+        let par_outcomes: Vec<Outcome> = par.trials.iter().map(|t| t.outcome).collect();
+        assert_eq!(seq_outcomes, par_outcomes);
+    }
+
+    #[test]
+    fn distribution_sums_to_trials() {
+        let campaign = Campaign::new(Scenario::golden(800), 3, 3);
+        let result = campaign.run();
+        let total: usize = result.distribution().values().sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,300 @@
+//! Outcome classification.
+//!
+//! The paper buckets test outcomes into the categories visible in §III
+//! and Figure 3. The classifier reproduces them from the observation
+//! channels a real test bench has — the serial log, the hypervisor's
+//! reported cell state, and the CPU park state — plus the structured
+//! event trace for explainability:
+//!
+//! * **Correct** — the system kept operating (cells alive, output
+//!   flowing);
+//! * **InvalidArguments** — a management operation was cleanly
+//!   rejected and nothing was allocated (E1's fail-stop);
+//! * **InconsistentState** — the hypervisor reports the non-root cell
+//!   *running* but the cell never executed: blank USART, CPU parked or
+//!   guest non-executable (E2);
+//! * **PanicPark** — the fault propagated beyond the injected cell and
+//!   the whole system died in a kernel (or hypervisor) panic;
+//! * **CpuPark** — an unhandled trap (`0x24`) parked the affected CPU;
+//!   the fault stayed isolated in the injected cell (E3's third bar).
+
+use crate::injector::InjectionRecord;
+use crate::system::System;
+use certify_arch::cpu::ParkReason;
+use certify_arch::CpuId;
+use certify_guest_linux::MgmtOp;
+use certify_hypervisor::{CellState, Guest, GuestHealth, HvEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The outcome classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Whole-system failure: the fault propagated (root kernel panic
+    /// or hypervisor panic).
+    PanicPark,
+    /// The cell is reported running but never executed — blank USART
+    /// (E2's dangerous state).
+    InconsistentState,
+    /// The affected CPU was parked on an unhandled trap; the fault was
+    /// isolated.
+    CpuPark,
+    /// A management operation was rejected with "invalid arguments";
+    /// nothing was allocated.
+    InvalidArguments,
+    /// Expected behaviour throughout.
+    Correct,
+}
+
+impl Outcome {
+    /// All outcomes, in classification precedence order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::PanicPark,
+        Outcome::InconsistentState,
+        Outcome::CpuPark,
+        Outcome::InvalidArguments,
+        Outcome::Correct,
+    ];
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Outcome::Correct => "correct",
+            Outcome::InvalidArguments => "invalid arguments",
+            Outcome::InconsistentState => "inconsistent state",
+            Outcome::PanicPark => "panic park",
+            Outcome::CpuPark => "cpu park",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A classified run with its supporting evidence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The classified outcome.
+    pub outcome: Outcome,
+    /// Injections performed during the run.
+    pub injections: Vec<InjectionRecord>,
+    /// Human-readable evidence notes.
+    pub notes: Vec<String>,
+    /// Final state of the non-root cell, if it exists.
+    pub cell_state: Option<CellState>,
+    /// Final park reason of CPU 1, if parked.
+    pub cpu1_park: Option<String>,
+    /// Number of serial-log lines.
+    pub serial_line_count: usize,
+    /// First hardware-watchdog expiry, if the watchdog was armed and
+    /// starved (extension E5a: panic detection instant).
+    pub watchdog_first_expiry: Option<u64>,
+    /// Alarms raised by the root-side heartbeat safety monitor
+    /// (extension E5b: inconsistent-state detection).
+    pub monitor_alarms: usize,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "outcome: {}", self.outcome)?;
+        for note in &self.notes {
+            writeln!(f, "  - {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classifies a finished run.
+pub fn classify(system: &System) -> RunReport {
+    let mut notes = Vec::new();
+    let serial = system.serial_lines();
+    let serial_line_count = serial.len();
+
+    let injections = system
+        .injection_log()
+        .map(|log| log.records())
+        .unwrap_or_default();
+
+    let cell_state = system
+        .rtos_cell()
+        .and_then(|id| system.hv.cell(id))
+        .map(|c| c.state());
+    let cpu1_park = system
+        .machine
+        .cpu(CpuId(1))
+        .park_reason()
+        .map(|r| r.to_string());
+    let watchdog_first_expiry = system.machine.wdt.first_expiry();
+    let monitor_alarms = system.linux.monitor_alarms().len();
+
+    // --- Panic park: whole-system failure ---------------------------
+    let hyp_panic = system.hv.panicked().is_some();
+    let linux_panic = system.linux.health() == GuestHealth::Panicked
+        || serial
+            .iter()
+            .any(|(_, l)| l.contains("Kernel panic - not syncing"));
+    let root_parked_on_trap = matches!(
+        system.machine.cpu(CpuId(0)).park_reason(),
+        Some(ParkReason::UnhandledTrap(_))
+    );
+    if hyp_panic || linux_panic || root_parked_on_trap {
+        if hyp_panic {
+            notes.push(format!(
+                "hypervisor panic: {}",
+                system.hv.panicked().unwrap_or_default()
+            ));
+        }
+        if linux_panic {
+            notes.push("root cell kernel panic on serial log".into());
+        }
+        if root_parked_on_trap {
+            notes.push("root CPU parked on unhandled trap".into());
+        }
+        return RunReport {
+            outcome: Outcome::PanicPark,
+            injections,
+            notes,
+            cell_state,
+            cpu1_park,
+            serial_line_count,
+            watchdog_first_expiry,
+            monitor_alarms,
+        };
+    }
+
+    // --- Inconsistent state: reported running, never executed -------
+    let failed_online = system.hv.events().iter().any(|e| {
+        matches!(
+            e,
+            HvEvent::CpuParked {
+                cpu: CpuId(1),
+                reason: ParkReason::FailedOnline,
+                ..
+            }
+        )
+    });
+    let broken_guest = system.rtos_broken_observed();
+    let boot_rejected = system.boot_failures() > 0;
+    if failed_online || broken_guest || boot_rejected {
+        if failed_online {
+            notes.push("CPU 1 failed to come online (hot-plug swap)".into());
+        }
+        if broken_guest {
+            notes.push("guest entered at corrupted address: non-executable".into());
+        }
+        if boot_rejected {
+            notes.push(format!(
+                "{} cell-boot hypercall(s) rejected; CPU left parked",
+                system.boot_failures()
+            ));
+        }
+        if let Some(start) = system.cell_start_step() {
+            let output = system.rtos_output_since(start);
+            notes.push(format!("rtos serial lines since start: {output}"));
+        }
+        if cell_state == Some(CellState::Running) {
+            notes.push("hypervisor still reports the cell running".into());
+        }
+        return RunReport {
+            outcome: Outcome::InconsistentState,
+            injections,
+            notes,
+            cell_state,
+            cpu1_park,
+            serial_line_count,
+            watchdog_first_expiry,
+            monitor_alarms,
+        };
+    }
+
+    // --- CPU park: isolated unhandled trap ---------------------------
+    let cpu1_unhandled = system.hv.events().iter().any(|e| {
+        matches!(
+            e,
+            HvEvent::CpuParked {
+                cpu: CpuId(1),
+                reason: ParkReason::UnhandledTrap(_),
+                ..
+            }
+        )
+    });
+    if cpu1_unhandled {
+        if let Some(HvEvent::CpuParked { reason, .. }) = system
+            .hv
+            .events()
+            .iter()
+            .find(|e| matches!(e, HvEvent::CpuParked { cpu: CpuId(1), reason: ParkReason::UnhandledTrap(_), .. }))
+        {
+            notes.push(format!("cpu1 parked: {reason}"));
+        }
+        notes.push("fault isolated to the non-root cell".into());
+        return RunReport {
+            outcome: Outcome::CpuPark,
+            injections,
+            notes,
+            cell_state,
+            cpu1_park,
+            serial_line_count,
+            watchdog_first_expiry,
+            monitor_alarms,
+        };
+    }
+
+    // --- Invalid arguments: clean management rejection ---------------
+    let rejected_enable = system.linux.records().iter().any(|r| {
+        matches!(r.op, MgmtOp::Enable | MgmtOp::CreateCell) && r.result < 0
+    });
+    if rejected_enable && !system.hv.is_enabled() {
+        notes.push("management operation rejected; hypervisor/cell not allocated".into());
+        return RunReport {
+            outcome: Outcome::InvalidArguments,
+            injections,
+            notes,
+            cell_state,
+            cpu1_park,
+            serial_line_count,
+            watchdog_first_expiry,
+            monitor_alarms,
+        };
+    }
+
+    notes.push("system operated within expectations".into());
+    RunReport {
+        outcome: Outcome::Correct,
+        injections,
+        notes,
+        cell_state,
+        cpu1_park,
+        serial_line_count,
+        watchdog_first_expiry,
+        monitor_alarms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certify_guest_linux::MgmtScript;
+
+    #[test]
+    fn golden_run_classifies_correct() {
+        let mut system = System::new(MgmtScript::bring_up_and_run(1500));
+        system.run(2500);
+        let report = classify(&system);
+        assert_eq!(report.outcome, Outcome::Correct, "report: {report}");
+        assert!(report.injections.is_empty());
+        assert!(report.serial_line_count > 0);
+    }
+
+    #[test]
+    fn outcome_display_matches_paper_vocabulary() {
+        assert_eq!(Outcome::PanicPark.to_string(), "panic park");
+        assert_eq!(Outcome::CpuPark.to_string(), "cpu park");
+        assert_eq!(Outcome::InvalidArguments.to_string(), "invalid arguments");
+    }
+
+    #[test]
+    fn precedence_order_is_stable() {
+        assert_eq!(Outcome::ALL[0], Outcome::PanicPark);
+        assert_eq!(Outcome::ALL[4], Outcome::Correct);
+    }
+}

@@ -1,0 +1,297 @@
+//! The injector: an [`InjectionHook`] that fires on cadence.
+//!
+//! This is the runtime half of the paper's "dozen of lines of code
+//! added to Jailhouse that allows us to orchestrate the fault
+//! injection tests by controlling test duration and target": it
+//! counts handler calls that match the specification's target/CPU
+//! filter and, on every `rate`-th call, applies the fault model to the
+//! live register context — recording exactly what was corrupted for
+//! the post-run analytics.
+
+use crate::fault::AppliedFault;
+use crate::spec::InjectionSpec;
+use certify_arch::CpuId;
+use certify_hypervisor::{HandlerKind, HookCtx, InjectionHook};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// One injection that happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// Simulator step of the injection.
+    pub step: u64,
+    /// The handler that was entered.
+    pub handler: HandlerKind,
+    /// The CPU that called it.
+    pub cpu: CpuId,
+    /// The filtered-stream call number that triggered the injection.
+    pub filtered_call: u64,
+    /// The concrete corruptions applied.
+    pub faults: Vec<AppliedFault>,
+}
+
+impl fmt::Display for InjectionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} call#{}:",
+            self.step, self.cpu, self.handler, self.filtered_call
+        )?;
+        for fault in &self.faults {
+            write!(f, " {fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared, cloneable view of an injector's record log (the injector
+/// itself is moved into the hypervisor as a hook).
+#[derive(Debug, Clone, Default)]
+pub struct InjectionLog {
+    inner: Arc<Mutex<Vec<InjectionRecord>>>,
+}
+
+impl InjectionLog {
+    /// Snapshot of all injections so far.
+    pub fn records(&self) -> Vec<InjectionRecord> {
+        self.inner.lock().expect("injection log lock").clone()
+    }
+
+    /// Number of injections so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("injection log lock").len()
+    }
+
+    /// Whether no injection has fired yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, record: InjectionRecord) {
+        self.inner.lock().expect("injection log lock").push(record);
+    }
+}
+
+/// The fault injector.
+#[derive(Debug)]
+pub struct Injector {
+    spec: InjectionSpec,
+    rng: StdRng,
+    filtered_calls: u64,
+    injections_done: u64,
+    /// Next firing deadline (time-triggered mode only).
+    next_deadline: u64,
+    log: InjectionLog,
+}
+
+impl Injector {
+    /// Creates an injector for `spec`, seeded deterministically.
+    pub fn new(spec: InjectionSpec, seed: u64) -> Injector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phase = if spec.phase_jitter {
+            use rand::Rng;
+            rng.gen_range(0..spec.rate)
+        } else {
+            0
+        };
+        Injector {
+            spec,
+            rng,
+            filtered_calls: phase,
+            injections_done: 0,
+            next_deadline: 0,
+            log: InjectionLog::default(),
+        }
+    }
+
+    /// A shared handle to the injection log, usable after the injector
+    /// has been installed into the hypervisor.
+    pub fn log(&self) -> InjectionLog {
+        self.log.clone()
+    }
+
+    /// The specification driving this injector.
+    pub fn spec(&self) -> &InjectionSpec {
+        &self.spec
+    }
+
+    /// Filtered calls observed so far.
+    pub fn filtered_calls(&self) -> u64 {
+        self.filtered_calls
+    }
+}
+
+impl InjectionHook for Injector {
+    fn on_handler_entry(&mut self, ctx: &mut HookCtx<'_>) {
+        if !self.spec.matches(ctx.handler, ctx.cpu) {
+            return;
+        }
+        if let Some(max) = self.spec.max_injections {
+            if self.injections_done >= max {
+                return;
+            }
+        }
+        self.filtered_calls += 1;
+        match self.spec.time_trigger {
+            // Ablation D1: fire at the first matching entry past each
+            // period boundary.
+            Some(period) => {
+                if ctx.step < self.next_deadline {
+                    return;
+                }
+                self.next_deadline = ctx.step + period;
+            }
+            // The paper's trigger: once every `rate` calls.
+            None => {
+                if self.filtered_calls % self.spec.rate != 0 {
+                    return;
+                }
+            }
+        }
+        let faults = self.spec.model.apply(ctx.regs, &mut self.rng);
+        if faults.is_empty() {
+            return;
+        }
+        self.injections_done += 1;
+        self.log.push(InjectionRecord {
+            step: ctx.step,
+            handler: ctx.handler,
+            cpu: ctx.cpu,
+            filtered_call: self.filtered_calls,
+            faults,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Intensity;
+    use certify_arch::RegisterFile;
+
+    fn call(injector: &mut Injector, handler: HandlerKind, cpu: CpuId, n: u64) {
+        let mut regs = RegisterFile::new();
+        for i in 0..n {
+            let mut ctx = HookCtx {
+                handler,
+                cpu,
+                call_index: i + 1,
+                step: i,
+                regs: &mut regs,
+            };
+            injector.on_handler_entry(&mut ctx);
+        }
+    }
+
+    #[test]
+    fn fires_every_rate_calls() {
+        let spec = InjectionSpec::new(
+            Intensity::Medium,
+            [HandlerKind::ArchHandleTrap],
+            Some(CpuId(1)),
+        )
+        .with_rate(10);
+        let mut injector = Injector::new(spec, 1);
+        let log = injector.log();
+        call(&mut injector, HandlerKind::ArchHandleTrap, CpuId(1), 35);
+        assert_eq!(log.len(), 3); // calls 10, 20, 30
+        let records = log.records();
+        assert_eq!(records[0].filtered_call, 10);
+        assert_eq!(records[2].filtered_call, 30);
+    }
+
+    #[test]
+    fn filter_excludes_other_cpu_and_handler() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium().with_rate(5);
+        let mut injector = Injector::new(spec, 1);
+        let log = injector.log();
+        call(&mut injector, HandlerKind::ArchHandleTrap, CpuId(0), 50);
+        call(&mut injector, HandlerKind::ArchHandleHvc, CpuId(1), 50);
+        assert!(log.is_empty());
+        call(&mut injector, HandlerKind::ArchHandleTrap, CpuId(1), 5);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn max_injections_caps_firing() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium()
+            .with_rate(2)
+            .with_max_injections(3);
+        let mut injector = Injector::new(spec, 9);
+        let log = injector.log();
+        call(&mut injector, HandlerKind::ArchHandleTrap, CpuId(1), 100);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_across_seeds() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium().with_rate(7);
+        let mut a = Injector::new(spec.clone(), 1234);
+        let mut b = Injector::new(spec, 1234);
+        let (log_a, log_b) = (a.log(), b.log());
+        call(&mut a, HandlerKind::ArchHandleTrap, CpuId(1), 70);
+        call(&mut b, HandlerKind::ArchHandleTrap, CpuId(1), 70);
+        assert_eq!(log_a.records(), log_b.records());
+        assert!(!log_a.is_empty());
+    }
+
+    #[test]
+    fn time_trigger_fires_on_period_boundaries() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium().with_time_trigger(100);
+        let mut injector = Injector::new(spec, 3);
+        let log = injector.log();
+        let mut regs = RegisterFile::new();
+        // Handler entries at steps 0, 50, 100, …, 450: deadlines at
+        // 100 (fires at step 100), 200, 300, 400.
+        for step in (0..500).step_by(50) {
+            let mut ctx = HookCtx {
+                handler: HandlerKind::ArchHandleTrap,
+                cpu: CpuId(1),
+                call_index: step / 50 + 1,
+                step,
+                regs: &mut regs,
+            };
+            injector.on_handler_entry(&mut ctx);
+        }
+        let steps: Vec<u64> = log.records().iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn time_trigger_waits_for_a_matching_entry() {
+        // Entries arrive sparsely: the injection lands on the first
+        // entry after each deadline, not on the deadline itself.
+        let spec = InjectionSpec::e3_nonroot_trap_medium().with_time_trigger(100);
+        let mut injector = Injector::new(spec, 3);
+        let log = injector.log();
+        let mut regs = RegisterFile::new();
+        for step in [30u64, 170, 180, 390] {
+            let mut ctx = HookCtx {
+                handler: HandlerKind::ArchHandleTrap,
+                cpu: CpuId(1),
+                call_index: 1,
+                step,
+                regs: &mut regs,
+            };
+            injector.on_handler_entry(&mut ctx);
+        }
+        let steps: Vec<u64> = log.records().iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![30, 170, 390]);
+    }
+
+    #[test]
+    fn record_captures_faults() {
+        let spec = InjectionSpec::e2_nonroot_high().with_rate(1);
+        let mut injector = Injector::new(spec, 5);
+        let log = injector.log();
+        call(&mut injector, HandlerKind::ArchHandleHvc, CpuId(1), 1);
+        let records = log.records();
+        assert_eq!(records.len(), 1);
+        // High intensity: three corrupted registers.
+        assert_eq!(records[0].faults.len(), 3);
+        assert!(!records[0].to_string().is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! `certify-core` — the paper's contribution: a fault-injection
+//! framework for assessing a partitioning hypervisor as an ISO 26262
+//! *Safety Element out of Context* (SEooC).
+//!
+//! The framework follows Figure 2 of the paper:
+//!
+//! ```text
+//!  test plan ──► fault injection test ──► log file ──► analytics
+//!    (spec)        (injector + system)     (serial +     (certify-
+//!                                           events)       analysis)
+//! ```
+//!
+//! * [`fault`] — the fault models: the classical single-bit-flip
+//!   transient fault plus the multi-register variant of the paper's
+//!   *high* intensity level and the extension models of the future-work
+//!   section (double bit, stuck-at, register replacement);
+//! * [`spec`] — injection specifications: target handlers, CPU filter,
+//!   occurrence rate ("once every given number of calls"), intensity
+//!   presets [`spec::Intensity::Medium`] / [`spec::Intensity::High`];
+//! * [`injector`] — the [`certify_hypervisor::InjectionHook`]
+//!   implementation that counts filtered handler calls and applies
+//!   faults on cadence, recording every injection;
+//! * [`system`] — the full testbed: board + hypervisor + root Linux
+//!   guest + FreeRTOS guest, orchestrated step by step;
+//! * [`classify`] — the outcome classifier producing the paper's
+//!   categories (*correct*, *invalid arguments*, *inconsistent state*,
+//!   *panic park*, *CPU park*);
+//! * [`campaign`] — seeded, optionally parallel campaigns of
+//!   independent trials;
+//! * [`profiler`] — golden-run profiling that ranks handler
+//!   activations and (re)derives the paper's three injection points.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use certify_core::campaign::{Campaign, Scenario};
+//!
+//! // Three seeded trials of the paper's Figure-3 experiment.
+//! let campaign = Campaign::new(Scenario::e3_fig3(), 3, 0xC0FFEE);
+//! let result = campaign.run();
+//! assert_eq!(result.trials.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod classify;
+pub mod fault;
+pub mod injector;
+pub mod profiler;
+pub mod spec;
+pub mod system;
+
+pub use campaign::{Campaign, CampaignResult, Scenario, TrialResult};
+pub use classify::{classify, Outcome, RunReport};
+pub use fault::{AppliedFault, FaultModel};
+pub use injector::{InjectionRecord, Injector};
+pub use profiler::{profile_golden_run, ProfileReport};
+pub use spec::{InjectionSpec, Intensity};
+pub use system::System;

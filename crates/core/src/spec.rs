@@ -1,0 +1,243 @@
+//! Injection specifications: what to target, when to fire.
+//!
+//! §III of the paper: *"The generated test plan consists of two
+//! classes of testing, defined by the fault intensity level: the
+//! medium level refers to a discontinuous bit flipping of a single
+//! register, generated once every given number of calls to the target
+//! functions, while the high level instead consists in a bit flip of
+//! multiple registers at the time. […] The showcased tests have an
+//! occurrence of once every 100 and 50 function calls for the medium
+//! and hard intensity, respectively."*
+
+use crate::fault::FaultModel;
+use certify_arch::CpuId;
+use certify_hypervisor::HandlerKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The paper's two intensity presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intensity {
+    /// Single-register bit flip, once every 100 target calls.
+    Medium,
+    /// Multi-register bit flip, once every 50 target calls.
+    High,
+}
+
+impl Intensity {
+    /// The occurrence rate (fire every `rate` filtered calls).
+    pub fn rate(self) -> u64 {
+        match self {
+            Intensity::Medium => 100,
+            Intensity::High => 50,
+        }
+    }
+
+    /// The fault model of this intensity.
+    pub fn model(self) -> FaultModel {
+        match self {
+            Intensity::Medium => FaultModel::single_bit_flip(),
+            Intensity::High => FaultModel::multi_register_flip(),
+        }
+    }
+}
+
+impl fmt::Display for Intensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Intensity::Medium => f.write_str("medium"),
+            Intensity::High => f.write_str("high"),
+        }
+    }
+}
+
+/// A full injection specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionSpec {
+    /// Handlers to instrument (the paper profiles all three and
+    /// injects into `arch_handle_trap` / `arch_handle_hvc`).
+    pub targets: BTreeSet<HandlerKind>,
+    /// Only inject when this CPU calls the handler ("we filter the
+    /// injection to activate only when the CPU core 1 is calling the
+    /// function"). `None` = any CPU.
+    pub cpu_filter: Option<CpuId>,
+    /// Fire on every `rate`-th filtered call.
+    pub rate: u64,
+    /// The fault model to apply.
+    pub model: FaultModel,
+    /// Stop after this many injections (`None` = unbounded).
+    pub max_injections: Option<u64>,
+    /// Start the call counter at a seed-derived offset in
+    /// `[0, rate)`. On real hardware the injection cadence and the
+    /// workload are not phase-locked — the test starts at an arbitrary
+    /// point of the management cycle. Without jitter the cadence is
+    /// deterministic relative to the call stream.
+    pub phase_jitter: bool,
+    /// Time-triggered mode (ablation D1): instead of firing every
+    /// `rate`-th call, fire at the first matching handler entry after
+    /// every `period` simulator steps. `None` = the paper's
+    /// call-count trigger.
+    pub time_trigger: Option<u64>,
+}
+
+impl InjectionSpec {
+    /// A specification from an intensity preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn new(
+        intensity: Intensity,
+        targets: impl IntoIterator<Item = HandlerKind>,
+        cpu_filter: Option<CpuId>,
+    ) -> InjectionSpec {
+        let targets: BTreeSet<HandlerKind> = targets.into_iter().collect();
+        assert!(!targets.is_empty(), "injection spec needs at least one target");
+        InjectionSpec {
+            targets,
+            cpu_filter,
+            rate: intensity.rate(),
+            model: intensity.model(),
+            max_injections: None,
+            phase_jitter: false,
+            time_trigger: None,
+        }
+    }
+
+    /// E1: high intensity on `arch_handle_hvc` + `arch_handle_trap`
+    /// in root-cell context (CPU 0).
+    pub fn e1_root_high() -> InjectionSpec {
+        InjectionSpec::new(
+            Intensity::High,
+            [HandlerKind::ArchHandleHvc, HandlerKind::ArchHandleTrap],
+            Some(CpuId(0)),
+        )
+    }
+
+    /// E2: high intensity on the same handlers, filtered to CPU 1,
+    /// with per-seed cadence phase (the campaign sweeps where in the
+    /// lifecycle the injections land).
+    pub fn e2_nonroot_high() -> InjectionSpec {
+        let mut spec = InjectionSpec::new(
+            Intensity::High,
+            [HandlerKind::ArchHandleHvc, HandlerKind::ArchHandleTrap],
+            Some(CpuId(1)),
+        );
+        spec.phase_jitter = true;
+        spec
+    }
+
+    /// E2, boot-window aligned: the deterministic reproduction of the
+    /// paper's "pretty peculiar" observation. On CPU 1 the first two
+    /// hypercalls of a run are `CPU_OFF` (hot-unplug) and `CPU_BOOT`
+    /// (cell entry), so a rate-2 cadence with a single injection lands
+    /// exactly on the cell-boot hypercall.
+    pub fn e2_boot_window() -> InjectionSpec {
+        InjectionSpec::new(Intensity::High, [HandlerKind::ArchHandleHvc], Some(CpuId(1)))
+            .with_rate(2)
+            .with_max_injections(1)
+    }
+
+    /// E3 (Figure 3): medium intensity on the non-root cell's
+    /// `arch_handle_trap`.
+    pub fn e3_nonroot_trap_medium() -> InjectionSpec {
+        InjectionSpec::new(
+            Intensity::Medium,
+            [HandlerKind::ArchHandleTrap],
+            Some(CpuId(1)),
+        )
+    }
+
+    /// Whether a handler call matches the target/CPU filter.
+    pub fn matches(&self, handler: HandlerKind, cpu: CpuId) -> bool {
+        self.targets.contains(&handler) && self.cpu_filter.map(|f| f == cpu).unwrap_or(true)
+    }
+
+    /// Replaces the rate, returning the spec (builder style).
+    pub fn with_rate(mut self, rate: u64) -> InjectionSpec {
+        assert!(rate > 0, "rate must be non-zero");
+        self.rate = rate;
+        self
+    }
+
+    /// Enables per-seed cadence phase, returning the spec (builder
+    /// style).
+    pub fn with_phase_jitter(mut self) -> InjectionSpec {
+        self.phase_jitter = true;
+        self
+    }
+
+    /// Switches to the time-triggered mode (ablation D1), returning
+    /// the spec (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_time_trigger(mut self, period: u64) -> InjectionSpec {
+        assert!(period > 0, "trigger period must be non-zero");
+        self.time_trigger = Some(period);
+        self
+    }
+
+    /// Replaces the fault model, returning the spec (builder style).
+    pub fn with_model(mut self, model: FaultModel) -> InjectionSpec {
+        self.model = model;
+        self
+    }
+
+    /// Caps the number of injections, returning the spec (builder
+    /// style).
+    pub fn with_max_injections(mut self, max: u64) -> InjectionSpec {
+        self.max_injections = Some(max);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_presets_match_the_paper() {
+        assert_eq!(Intensity::Medium.rate(), 100);
+        assert_eq!(Intensity::High.rate(), 50);
+        assert_eq!(Intensity::Medium.model().name(), "single-bit-flip");
+        assert_eq!(Intensity::High.model().name(), "multi-register-flip");
+    }
+
+    #[test]
+    fn e3_spec_targets_only_nonroot_trap() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium();
+        assert!(spec.matches(HandlerKind::ArchHandleTrap, CpuId(1)));
+        assert!(!spec.matches(HandlerKind::ArchHandleTrap, CpuId(0)));
+        assert!(!spec.matches(HandlerKind::ArchHandleHvc, CpuId(1)));
+        assert!(!spec.matches(HandlerKind::IrqchipHandleIrq, CpuId(1)));
+    }
+
+    #[test]
+    fn no_cpu_filter_matches_any_cpu() {
+        let spec = InjectionSpec::new(
+            Intensity::Medium,
+            [HandlerKind::ArchHandleTrap],
+            None,
+        );
+        assert!(spec.matches(HandlerKind::ArchHandleTrap, CpuId(0)));
+        assert!(spec.matches(HandlerKind::ArchHandleTrap, CpuId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_targets_rejected() {
+        let _ = InjectionSpec::new(Intensity::Medium, [], None);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium()
+            .with_rate(10)
+            .with_max_injections(2);
+        assert_eq!(spec.rate, 10);
+        assert_eq!(spec.max_injections, Some(2));
+    }
+}

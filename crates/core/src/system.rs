@@ -1,0 +1,351 @@
+//! The assembled testbed: board + hypervisor + root Linux guest +
+//! FreeRTOS guest, driven step by step.
+//!
+//! One [`System`] is one test run of Figure 2: it wires the hardware
+//! setup of the paper (dual-core board, serial console), installs the
+//! management script into the root guest, optionally installs a fault
+//! injector into the hypervisor, and advances the whole stack one
+//! simulator step at a time — delivering interrupts through
+//! `irqchip_handle_irq`, running the CPU-hot-plug cell-boot protocol,
+//! forwarding corruption notices, and stepping each cell's guest on
+//! its own CPU.
+
+use crate::injector::{InjectionLog, Injector};
+use crate::spec::InjectionSpec;
+use certify_arch::CpuId;
+use certify_board::{memmap, Machine};
+use certify_guest_linux::{LinuxGuest, MgmtScript};
+use certify_hypervisor::hv::IrqDelivery;
+use certify_hypervisor::hypercall as hc;
+use certify_hypervisor::{CellId, Guest, GuestCtx, Hypervisor, SystemConfig};
+use certify_rtos::RtosGuest;
+
+/// Maximum interrupts drained per CPU per step (loop guard).
+const MAX_IRQS_PER_STEP: usize = 8;
+
+/// A complete, steppable testbed.
+pub struct System {
+    /// The board.
+    pub machine: Machine,
+    /// The hypervisor under test.
+    pub hv: Hypervisor,
+    /// The root-cell guest.
+    pub linux: LinuxGuest,
+    /// The non-root-cell guest.
+    pub rtos: RtosGuest,
+    /// Step at which the cell most recently entered the Running state
+    /// from the root's perspective (for blank-output analysis).
+    cell_start_step: Option<u64>,
+    injection_log: Option<InjectionLog>,
+    steps_run: u64,
+    rtos_broken_observed: bool,
+    boot_failures: u64,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("steps_run", &self.steps_run)
+            .field("hv", &self.hv)
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds the paper's testbed with the given management script.
+    pub fn new(script: MgmtScript) -> System {
+        Self::build(script, false)
+    }
+
+    /// Like [`System::new`], with the E5b safety-heartbeat task added
+    /// to the RTOS workload.
+    pub fn new_with_heartbeat(script: MgmtScript) -> System {
+        Self::build(script, true)
+    }
+
+    fn build(script: MgmtScript, rtos_heartbeat: bool) -> System {
+        let platform = SystemConfig::banana_pi_demo();
+        let cell_config = SystemConfig::freertos_cell();
+        let mut machine = Machine::new_banana_pi();
+        machine.cpu_mut(CpuId(0)).power_on();
+        machine.cpu_mut(CpuId(1)).power_on();
+        machine.timer_mut(CpuId(0)).start();
+        let hv = Hypervisor::new(platform.clone());
+        let linux = LinuxGuest::new(script, &platform, &cell_config);
+        let rtos = if rtos_heartbeat {
+            RtosGuest::with_heartbeat(cell_config.entry)
+        } else {
+            RtosGuest::new(cell_config.entry)
+        };
+        System {
+            machine,
+            hv,
+            linux,
+            rtos,
+            cell_start_step: None,
+            injection_log: None,
+            steps_run: 0,
+            rtos_broken_observed: false,
+            boot_failures: 0,
+        }
+    }
+
+    /// Installs a fault injector built from `spec`, seeded with
+    /// `seed`. Returns a live handle to the injection log.
+    pub fn install_injector(&mut self, spec: InjectionSpec, seed: u64) -> InjectionLog {
+        let injector = Injector::new(spec, seed);
+        let log = injector.log();
+        self.injection_log = Some(log.clone());
+        self.hv.set_hook(Box::new(injector));
+        log
+    }
+
+    /// The injection log, if an injector is installed.
+    pub fn injection_log(&self) -> Option<&InjectionLog> {
+        self.injection_log.as_ref()
+    }
+
+    /// Steps run so far.
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// The step at which the non-root cell last started, if any.
+    pub fn cell_start_step(&self) -> Option<u64> {
+        self.cell_start_step
+    }
+
+    /// The non-root cell's id as created by the script, if any.
+    pub fn rtos_cell(&self) -> Option<CellId> {
+        self.linux.created_cell().map(CellId)
+    }
+
+    /// The serial log as `(step, line)` pairs.
+    pub fn serial_lines(&self) -> Vec<(u64, String)> {
+        self.machine.uart.lines()
+    }
+
+    /// Runs the system for `steps` simulator steps.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Advances the whole stack by one simulator step.
+    pub fn step(&mut self) {
+        self.steps_run += 1;
+        self.machine.advance();
+
+        // Wake WFI'd CPUs with pending interrupts.
+        for i in 0..self.machine.num_cpus() {
+            let cpu = CpuId(i as u32);
+            if self.machine.cpu(cpu).in_wfi() && self.machine.gic.has_pending(cpu) {
+                self.machine.cpu_mut(cpu).wake();
+            }
+        }
+
+        // Interrupt delivery.
+        for i in 0..self.machine.num_cpus() {
+            self.drain_irqs(CpuId(i as u32));
+        }
+
+        // CPU hot-unplug handshake: the idle thread on the target CPU
+        // issues CPU_OFF.
+        if let Some(cpu) = self.linux.take_offline_request() {
+            if self.hv.is_enabled() {
+                self.hv
+                    .handle_hvc(&mut self.machine, cpu, hc::HVC_CPU_OFF, 0, 0);
+            }
+        }
+
+        // Forward wild-store corruption notices to the victim guests.
+        for cell in self.hv.take_corruption_notices() {
+            if cell == certify_hypervisor::cell::ROOT_CELL {
+                self.linux.on_memory_corrupted();
+            } else {
+                self.rtos.on_memory_corrupted();
+            }
+        }
+
+        // Track the cell lifecycle for blank-output analysis.
+        if self.cell_start_step.is_none() {
+            if let Some(cell) = self.rtos_cell().and_then(|id| self.hv.cell(id)) {
+                if cell.state() == certify_hypervisor::CellState::Running {
+                    self.cell_start_step = Some(self.machine.now());
+                }
+            }
+        }
+
+        // Step the guests on their CPUs.
+        self.step_guest(CpuId(0));
+        self.step_guest(CpuId(1));
+
+        if self.rtos.health() == certify_hypervisor::GuestHealth::Broken {
+            self.rtos_broken_observed = true;
+        }
+    }
+
+    /// Whether the RTOS guest was ever observed in the E2
+    /// "non-executable" state.
+    pub fn rtos_broken_observed(&self) -> bool {
+        self.rtos_broken_observed
+    }
+
+    /// How many cell-boot hypercalls were rejected, leaving the CPU
+    /// parked while the cell was reported running.
+    pub fn boot_failures(&self) -> u64 {
+        self.boot_failures
+    }
+
+    fn drain_irqs(&mut self, cpu: CpuId) {
+        for _ in 0..MAX_IRQS_PER_STEP {
+            if !self.machine.gic.has_pending(cpu) {
+                break;
+            }
+            if !self.hv.is_enabled() {
+                // Bare-metal interrupt handling: the root kernel acks
+                // directly, no hypervisor involvement.
+                let irq = self.machine.gic.acknowledge(cpu);
+                self.machine.gic.complete(cpu, irq);
+                continue;
+            }
+            match self.hv.handle_irq(&mut self.machine, cpu) {
+                IrqDelivery::Spurious => break,
+                IrqDelivery::Error => continue,
+                IrqDelivery::MgmtWake => self.boot_protocol(cpu),
+                IrqDelivery::Tick => {
+                    let owner = self.hv.cpu_owner(cpu);
+                    if owner == Some(certify_hypervisor::cell::ROOT_CELL) {
+                        let mut ctx = GuestCtx::new(cpu, &mut self.machine, &mut self.hv);
+                        self.linux.on_tick(&mut ctx);
+                    } else if owner.is_some() {
+                        let mut ctx = GuestCtx::new(cpu, &mut self.machine, &mut self.hv);
+                        self.rtos.on_tick(&mut ctx);
+                    }
+                }
+                IrqDelivery::Guest(irq) => {
+                    let owner = self.hv.cpu_owner(cpu);
+                    if owner == Some(certify_hypervisor::cell::ROOT_CELL) {
+                        let mut ctx = GuestCtx::new(cpu, &mut self.machine, &mut self.hv);
+                        self.linux.on_irq(irq, &mut ctx);
+                    } else if owner.is_some() {
+                        let mut ctx = GuestCtx::new(cpu, &mut self.machine, &mut self.hv);
+                        self.rtos.on_irq(irq, &mut ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The park-loop wake path: a management SGI arrived on a parked
+    /// CPU with a pending boot request. The CPU reads its mailbox and
+    /// issues `CPU_BOOT` — the hypercall experiment E2's injections
+    /// corrupt. On failure the CPU simply stays parked; the cell's
+    /// state is untouched (the root already believes it Running).
+    fn boot_protocol(&mut self, cpu: CpuId) {
+        let Some(entry) = self.hv.boot_pending(cpu) else {
+            return;
+        };
+        let ret = self
+            .hv
+            .handle_hvc(&mut self.machine, cpu, hc::HVC_CPU_BOOT, entry, 0);
+        if ret >= 0 {
+            self.rtos.on_reset(ret as u32);
+        } else {
+            // The boot hypercall was rejected (e.g. its corrupted code
+            // or entry failed validation): the CPU silently stays
+            // parked while the cell is already reported running.
+            self.boot_failures += 1;
+        }
+    }
+
+    fn step_guest(&mut self, cpu: CpuId) {
+        if !self.machine.cpu(cpu).can_run_guest() {
+            return;
+        }
+        let owner = self.hv.cpu_owner(cpu);
+        let is_root = owner == Some(certify_hypervisor::cell::ROOT_CELL)
+            || (!self.hv.is_enabled() && cpu == CpuId(0));
+        if is_root {
+            if cpu == CpuId(0) {
+                let mut ctx = GuestCtx::new(cpu, &mut self.machine, &mut self.hv);
+                self.linux.step(&mut ctx);
+            }
+            // Root-owned secondary CPUs run the idle thread.
+        } else if owner.is_some() {
+            let mut ctx = GuestCtx::new(cpu, &mut self.machine, &mut self.hv);
+            self.rtos.step(&mut ctx);
+        }
+    }
+
+    /// Count of `[rtos]`-prefixed serial lines whose final byte arrived
+    /// at or after `step` — the "USART output" liveness signal of the
+    /// non-root cell.
+    pub fn rtos_output_since(&self, step: u64) -> usize {
+        self.serial_lines()
+            .iter()
+            .filter(|(s, line)| *s >= step && line.starts_with("[rtos]"))
+            .count()
+    }
+
+    /// The non-root cell's LED toggle count.
+    pub fn rtos_led_toggles(&self) -> u64 {
+        self.machine.gpio.toggle_count(memmap::LED_PIN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certify_hypervisor::{CellState, GuestHealth};
+
+    #[test]
+    fn golden_run_brings_up_mixed_criticality_system() {
+        let mut system = System::new(MgmtScript::bring_up_and_run(2000));
+        system.run(3000);
+
+        assert!(system.hv.is_enabled());
+        assert!(system.hv.panicked().is_none());
+        assert_eq!(system.linux.health(), GuestHealth::Healthy);
+        assert_eq!(system.rtos.health(), GuestHealth::Healthy);
+
+        let cell = system.hv.cell(system.rtos_cell().unwrap()).unwrap();
+        assert_eq!(cell.state(), CellState::Running);
+
+        // Both observation channels show life.
+        assert!(system.rtos_led_toggles() > 5, "LED did not blink");
+        let start = system.cell_start_step().unwrap();
+        assert!(system.rtos_output_since(start) > 0, "no RTOS serial output");
+
+        // All three profiled handlers saw traffic (the E4 result).
+        use certify_hypervisor::HandlerKind;
+        for handler in HandlerKind::ALL {
+            let total: u64 = (0..2)
+                .map(|c| system.hv.call_count(handler, CpuId(c)))
+                .sum();
+            assert!(total > 0, "{handler} saw no traffic");
+        }
+    }
+
+    #[test]
+    fn golden_run_is_deterministic() {
+        let mut a = System::new(MgmtScript::bring_up_and_run(500));
+        let mut b = System::new(MgmtScript::bring_up_and_run(500));
+        a.run(1200);
+        b.run(1200);
+        assert_eq!(a.serial_lines(), b.serial_lines());
+        assert_eq!(a.rtos_led_toggles(), b.rtos_led_toggles());
+    }
+
+    #[test]
+    fn injector_fires_during_a_run() {
+        let mut system = System::new(MgmtScript::bring_up_and_run(4000));
+        let log = system.install_injector(
+            InjectionSpec::e3_nonroot_trap_medium().with_rate(10),
+            7,
+        );
+        system.run(3000);
+        assert!(!log.is_empty(), "no injections fired");
+    }
+}

@@ -1,0 +1,129 @@
+//! Handler-entry register conventions.
+//!
+//! The fault model of the paper is a bit flip in "a random architecture
+//! register" at the entry of a profiled hypervisor handler. Whether
+//! such a flip is harmless, isolated, or catastrophic depends entirely
+//! on the *role* the register plays in the compiled handler at that
+//! moment. This module pins down a realistic convention, modelled on
+//! how a compiler allocates registers in Jailhouse's ARM handlers:
+//!
+//! | register | role at `arch_handle_trap` entry | corruption effect |
+//! |----------|----------------------------------|-------------------|
+//! | `r0`   | fault IPA (copy of `HDFAR`)        | wrong MMIO decode → mostly unhandled abort → **CPU park** |
+//! | `r1`   | syndrome (copy of `HSR`)           | EC/ISV flips → unhandled class → **CPU park**; ISS flips → wrong emulation → degraded but alive |
+//! | `r2`   | store data of the trapped access   | wrong device value → alive |
+//! | `r3`   | per-CPU state pointer              | wild hypervisor store → **fault propagation** |
+//! | `r5`   | cell structure pointer             | wild hypervisor store → **fault propagation** |
+//! | `r7`   | memory-region table cursor         | wild hypervisor store → **fault propagation** |
+//! | `r11`  | frame pointer (hyp stack)          | wild hypervisor store → **fault propagation** |
+//! | `r13`  | hyp stack pointer                  | wild hypervisor store → **fault propagation** |
+//! | `r4,r6,r8,r9,r10,r12,r14` | saved guest context | guest data corruption → cell degraded but available |
+//! | `r15`  | guest return address               | wild guest resume → crash or recovery |
+//!
+//! At `arch_handle_hvc` entry, `r0`–`r2` are the hypercall code and
+//! arguments (AAPCS), and the same five registers hold live hypervisor
+//! pointers. At `irqchip_handle_irq` entry only `r0` (the vector
+//! number) is live — which is exactly why the paper excluded that
+//! handler: "manumitting it means calling a different IRQ function,
+//! defaulting to an IRQ error, which is completely predictable".
+//!
+//! The five *pointer-live* registers out of sixteen are what produce
+//! the ≈30 % fault-propagation (panic park) share of Figure 3 under a
+//! uniformly chosen register.
+
+use crate::cell::CellId;
+use certify_arch::{CpuId, Reg};
+use certify_board::memmap;
+
+/// Registers holding live hypervisor pointers at `arch_handle_trap`
+/// and `arch_handle_hvc` entry.
+pub const POINTER_LIVE: [Reg; 5] = [Reg::R3, Reg::R5, Reg::R7, Reg::R11, Reg::R13];
+
+/// Registers holding saved guest context, restored verbatim on
+/// exception return.
+pub const GUEST_SAVED: [Reg; 7] = [
+    Reg::R4,
+    Reg::R6,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R12,
+    Reg::R14,
+];
+
+/// The per-CPU hypervisor state block for `cpu`.
+pub fn percpu_ptr(cpu: CpuId) -> u32 {
+    memmap::HV_RAM_BASE + 0x1000 * cpu.0
+}
+
+/// The hypervisor's cell structure for `cell`.
+pub fn cell_ptr(cell: CellId) -> u32 {
+    memmap::HV_RAM_BASE + 0x0010_0000 + 0x400 * cell.0
+}
+
+/// The memory-region table of `cell`.
+pub fn region_table_ptr(cell: CellId) -> u32 {
+    memmap::HV_RAM_BASE + 0x0020_0000 + 0x1000 * cell.0
+}
+
+/// The handler frame pointer on `cpu`'s hyp stack.
+pub fn frame_ptr(cpu: CpuId) -> u32 {
+    memmap::HV_RAM_BASE + 0x0030_0000 + 0x4000 * cpu.0 + 0x3f80
+}
+
+/// The hyp stack pointer of `cpu` at handler entry.
+pub fn stack_ptr(cpu: CpuId) -> u32 {
+    memmap::HV_RAM_BASE + 0x0030_0000 + 0x4000 * cpu.0 + 0x3f40
+}
+
+/// The expected values of the five pointer-live registers for a
+/// handler running on `cpu` on behalf of `cell`.
+pub fn expected_pointers(cpu: CpuId, cell: CellId) -> [(Reg, u32); 5] {
+    [
+        (Reg::R3, percpu_ptr(cpu)),
+        (Reg::R5, cell_ptr(cell)),
+        (Reg::R7, region_table_ptr(cell)),
+        (Reg::R11, frame_ptr(cpu)),
+        (Reg::R13, stack_ptr(cpu)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_and_guest_sets_are_disjoint_and_cover_non_argument_regs() {
+        // The handler argument registers are r0..r2 (code/address,
+        // syndrome/arg1, data/arg2).
+        let handler_args = [Reg::R0, Reg::R1, Reg::R2];
+        for reg in POINTER_LIVE {
+            assert!(!GUEST_SAVED.contains(&reg));
+            assert!(!handler_args.contains(&reg));
+        }
+        // r0..r2 arguments + 5 pointers + 7 guest-saved + r15 = 16.
+        assert_eq!(3 + POINTER_LIVE.len() + GUEST_SAVED.len() + 1, 16);
+    }
+
+    #[test]
+    fn expected_pointers_live_in_hypervisor_memory() {
+        for cpu in [CpuId(0), CpuId(1)] {
+            for cell in [CellId(0), CellId(1), CellId(7)] {
+                for (_, addr) in expected_pointers(cpu, cell) {
+                    assert!(
+                        memmap::in_region(addr, memmap::HV_RAM_BASE, memmap::HV_RAM_SIZE),
+                        "0x{addr:08x} outside hypervisor carve-out"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_blocks_do_not_collide_across_cpus_and_cells() {
+        assert_ne!(percpu_ptr(CpuId(0)), percpu_ptr(CpuId(1)));
+        assert_ne!(cell_ptr(CellId(0)), cell_ptr(CellId(1)));
+        assert_ne!(stack_ptr(CpuId(0)), stack_ptr(CpuId(1)));
+        assert_ne!(frame_ptr(CpuId(0)), stack_ptr(CpuId(0)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Run any of the paper's fault-injection campaigns from the command
+//! line.
+//!
+//! ```sh
+//! cargo run --release --example fault_campaign -- e3 100
+//! cargo run --release --example fault_campaign -- e1 40
+//! cargo run --release --example fault_campaign -- e2 60
+//! cargo run --release --example fault_campaign -- e2-boot 30
+//! cargo run --release --example fault_campaign -- golden 5
+//! ```
+
+use certify_analysis::Figure3;
+use certify_core::campaign::{Campaign, Scenario};
+
+fn usage() -> ! {
+    eprintln!("usage: fault_campaign <golden|e1|e2|e2-boot|e3> [trials] [seed]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = args.next().unwrap_or_else(|| "e3".into());
+    let trials: usize = args
+        .next()
+        .map(|t| t.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(60);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0xD5_2022);
+
+    let scenario = match which.as_str() {
+        "golden" => Scenario::golden(3000),
+        "e1" => Scenario::e1_root_high(),
+        "e2" => Scenario::e2_nonroot_high(),
+        "e2-boot" => Scenario::e2_boot_window(),
+        "e3" => Scenario::e3_fig3(),
+        _ => usage(),
+    };
+
+    println!(
+        "running scenario '{}' with {trials} trials (seed {seed:#x})…",
+        scenario.name
+    );
+    let campaign = Campaign::new(scenario, trials, seed);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let result = campaign.run_parallel(workers);
+    println!("{result}");
+
+    if which == "e3" {
+        let figure = Figure3::from_campaign(&result);
+        println!("{}", figure.render_chart());
+        println!(
+            "paper shape reproduced: {}",
+            figure.matches_paper_shape()
+        );
+    }
+
+    // Show three interesting trials in detail.
+    for trial in result
+        .trials
+        .iter()
+        .filter(|t| t.outcome != certify_core::Outcome::Correct)
+        .take(3)
+    {
+        println!("--- seed {} => {} ---", trial.seed, trial.outcome);
+        for injection in &trial.report.injections {
+            println!("  injection: {injection}");
+        }
+        for note in &trial.report.notes {
+            println!("  evidence:  {note}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Regenerates the complete paper-vs-measured report (the data behind
+//! EXPERIMENTS.md) in one run: E1–E4 plus the E5 extensions.
+//!
+//! ```sh
+//! cargo run --release --example full_report
+//! cargo run --release --example full_report -- --quick   # smaller campaigns
+//! ```
+
+use certify_analysis::{campaign_to_csv, ExperimentReport, Figure3};
+use certify_core::campaign::{Campaign, Scenario};
+use certify_core::profiler::profile_golden_run;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (dist_trials, det_trials) = if quick { (40, 12) } else { (150, 40) };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let seed = 0xD5_2022;
+    let mut reports = Vec::new();
+
+    println!("# Paper-vs-measured report\n");
+
+    // E1
+    let e1 = Campaign::new(Scenario::e1_root_high(), det_trials, seed).run_parallel(workers);
+    println!("{e1}");
+    reports.push(ExperimentReport::e1(&e1));
+
+    // E2 (both campaigns)
+    let e2_bw = Campaign::new(Scenario::e2_boot_window(), det_trials, seed).run_parallel(workers);
+    println!("{e2_bw}");
+    let e2_full =
+        Campaign::new(Scenario::e2_nonroot_high(), 2 * det_trials, seed).run_parallel(workers);
+    println!("{e2_full}");
+    reports.push(ExperimentReport::e2(&e2_bw, &e2_full));
+
+    // E3 + Figure 3
+    let e3 = Campaign::new(Scenario::e3_fig3(), dist_trials, seed).run_parallel(workers);
+    println!("{e3}");
+    let figure = Figure3::from_campaign(&e3);
+    println!("{}", figure.render_chart());
+    reports.push(ExperimentReport::e3(&e3));
+
+    // E4
+    let profile = profile_golden_run(3000);
+    println!("{profile}");
+    reports.push(ExperimentReport::e4(&profile));
+
+    // E5 extensions
+    let e5a = Campaign::new(Scenario::e5a_watchdog(), dist_trials, seed).run_parallel(workers);
+    reports.push(ExperimentReport::e5a(&e5a));
+    let e5b = Campaign::new(Scenario::e5b_monitor(), det_trials, seed).run_parallel(workers);
+    reports.push(ExperimentReport::e5b(&e5b));
+
+    println!("\n# Summary\n");
+    let mut all_reproduced = true;
+    for report in &reports {
+        println!("{report}");
+        all_reproduced &= report.reproduced;
+    }
+    println!(
+        "\nall experiments reproduced: {}",
+        if all_reproduced { "YES" } else { "NO" }
+    );
+
+    // Per-trial CSV of the headline figure, for external analysis.
+    if std::env::args().any(|a| a == "--csv") {
+        println!("\n# E3 per-trial CSV\n{}", campaign_to_csv(&e3));
+    }
+    if !all_reproduced {
+        std::process::exit(1);
+    }
+}

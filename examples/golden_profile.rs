@@ -1,0 +1,26 @@
+//! E4: golden-run profiling — rediscovering the paper's three
+//! injection points.
+//!
+//! ```sh
+//! cargo run --release --example golden_profile -- 3000
+//! ```
+
+use certify_core::profiler::profile_golden_run;
+
+fn main() {
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
+    let profile = profile_golden_run(steps);
+    print!("{profile}");
+    println!(
+        "candidate injection points: {}",
+        profile
+            .candidates()
+            .iter()
+            .map(|h| h.function_name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,17 @@
+//! `certify-uncertified` — facade crate re-exporting the whole stack.
+//!
+//! A reproduction of *"Certify the Uncertified: Towards Assessment of
+//! Virtualization for Mixed-criticality in the Automotive Domain"*
+//! (DSN 2022): a fault-injection framework probing the isolation and
+//! integrity guarantees of a Jailhouse-like partitioning hypervisor.
+//!
+//! Start with [`core::campaign::Scenario`] and the examples in
+//! `examples/`.
+
+pub use certify_analysis as analysis;
+pub use certify_arch as arch;
+pub use certify_board as board;
+pub use certify_core as core;
+pub use certify_guest_linux as guest_linux;
+pub use certify_hypervisor as hypervisor;
+pub use certify_rtos as rtos;

@@ -1,0 +1,100 @@
+//! Property-based integration tests over the full stack.
+
+use certify_arch::CpuId;
+use certify_board::memmap;
+use certify_core::campaign::Scenario;
+use certify_core::{classify, InjectionSpec, Intensity, Outcome, System};
+use certify_guest_linux::MgmtScript;
+use certify_hypervisor::hypercall as hc;
+use certify_hypervisor::{HandlerKind, Hypervisor, SystemConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any single-bit corruption of the staged system configuration
+    /// makes `HYPERVISOR_ENABLE` fail cleanly: the hypervisor stays
+    /// disabled and a retry with the pristine blob succeeds (no
+    /// residual state).
+    #[test]
+    fn corrupted_config_blob_never_enables(byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut machine = certify_board::Machine::new_banana_pi();
+        machine.cpu_mut(CpuId(0)).power_on();
+        let platform = SystemConfig::banana_pi_demo();
+        let mut hv = Hypervisor::new(platform.clone());
+        let addr = memmap::ROOT_RAM_BASE + 0x0100_0000;
+        let blob = platform.serialize();
+        hv.stage_blob(&mut machine, addr, &blob);
+
+        let byte = ((blob.len() as f64 - 1.0) * byte_frac) as u32;
+        let original = machine.ram().read8(addr + 4 + byte).unwrap();
+        machine.ram_mut().write8(addr + 4 + byte, original ^ (1 << bit)).unwrap();
+
+        let ret = hv.handle_hvc(&mut machine, CpuId(0), hc::HVC_HYPERVISOR_ENABLE, addr, 0);
+        prop_assert!(ret < 0, "corrupted blob accepted");
+        prop_assert!(!hv.is_enabled());
+
+        machine.ram_mut().write8(addr + 4 + byte, original).unwrap();
+        let ret = hv.handle_hvc(&mut machine, CpuId(0), hc::HVC_HYPERVISOR_ENABLE, addr, 0);
+        prop_assert_eq!(ret, 0);
+    }
+
+    /// The classifier is total and deterministic: any seeded E3 trial
+    /// produces exactly one outcome, and re-running the same seed
+    /// produces the same outcome.
+    #[test]
+    fn classification_is_deterministic(seed in 0u64..5000) {
+        let a = Scenario::e3_fig3().run_trial(seed);
+        let b = Scenario::e3_fig3().run_trial(seed);
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.report.injections, b.report.injections);
+    }
+
+    /// Whatever the injection spec, the system never wedges: a run
+    /// always completes its step budget and classification always
+    /// returns.
+    #[test]
+    fn system_never_wedges_under_random_specs(
+        seed in 0u64..1000,
+        rate in 1u64..40,
+        target_trap in any::<bool>(),
+        cpu in 0u32..2,
+    ) {
+        let handler = if target_trap {
+            HandlerKind::ArchHandleTrap
+        } else {
+            HandlerKind::ArchHandleHvc
+        };
+        let spec = InjectionSpec::new(
+            Intensity::Medium,
+            [handler],
+            Some(CpuId(cpu)),
+        ).with_rate(rate);
+        let mut system = System::new(MgmtScript::bring_up_and_run(800));
+        system.install_injector(spec, seed);
+        system.run(1500);
+        prop_assert_eq!(system.steps_run(), 1500);
+        let _ = classify(&system);
+    }
+
+    /// Fault isolation invariant: injections filtered to CPU 1 at
+    /// *high* intensity (argument registers only) never take down the
+    /// root cell — every outcome is one of {Correct, CpuPark,
+    /// InconsistentState, InvalidArguments}.
+    #[test]
+    fn high_intensity_cpu1_never_panics_the_system(seed in 0u64..300) {
+        let trial = Scenario::e2_nonroot_high().run_trial(seed);
+        prop_assert_ne!(trial.outcome, Outcome::PanicPark);
+    }
+
+    /// Golden runs are injection-free and always classified Correct,
+    /// independent of run length.
+    #[test]
+    fn golden_runs_always_correct(extra in 0u64..1500) {
+        let mut system = System::new(MgmtScript::bring_up_and_run(1200 + extra));
+        system.run(1800 + extra);
+        let report = classify(&system);
+        prop_assert_eq!(report.outcome, Outcome::Correct);
+        prop_assert!(report.injections.is_empty());
+    }
+}
