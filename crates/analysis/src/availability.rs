@@ -39,7 +39,7 @@ impl AvailabilityReport {
     ) -> AvailabilityReport {
         assert!(window > 0, "window must be non-zero");
         assert!(end >= start, "end before start");
-        let windows = ((end - start) + window - 1) / window;
+        let windows = (end - start).div_ceil(window);
         let mut per_window = vec![0u64; windows as usize];
         for (step, event) in events {
             if *step < start || *step >= end || event.source() != source {

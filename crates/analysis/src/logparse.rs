@@ -87,9 +87,9 @@ impl LogEvent {
     /// The source of this event.
     pub fn source(&self) -> LogSource {
         match self {
-            LogEvent::LinuxBoot { .. } | LogEvent::KernelPanic { .. } | LogEvent::Management { .. } => {
-                LogSource::Linux
-            }
+            LogEvent::LinuxBoot { .. }
+            | LogEvent::KernelPanic { .. }
+            | LogEvent::Management { .. } => LogSource::Linux,
             LogEvent::CpuParked { .. } | LogEvent::HypervisorPanic { .. } => LogSource::Hypervisor,
             LogEvent::RtosHeartbeat { .. } => LogSource::Rtos,
             LogEvent::Other { .. } => LogSource::Unknown,

@@ -244,7 +244,10 @@ mod tests {
     fn e1_reproduced_only_when_all_reject() {
         let all = fake(&[(Outcome::InvalidArguments, 5)], true);
         assert!(ExperimentReport::e1(&all).reproduced);
-        let mixed = fake(&[(Outcome::InvalidArguments, 4), (Outcome::Correct, 1)], true);
+        let mixed = fake(
+            &[(Outcome::InvalidArguments, 4), (Outcome::Correct, 1)],
+            true,
+        );
         assert!(!ExperimentReport::e1(&mixed).reproduced);
         let uninjected = fake(&[(Outcome::InvalidArguments, 5)], false);
         assert!(!ExperimentReport::e1(&uninjected).reproduced);

@@ -165,7 +165,7 @@ impl Stage2Table {
         let end = ipa.wrapping_add(size);
         while addr != end {
             let remaining = end.wrapping_sub(addr);
-            if addr % BLOCK_SIZE == 0 && remaining >= BLOCK_SIZE {
+            if addr.is_multiple_of(BLOCK_SIZE) && remaining >= BLOCK_SIZE {
                 self.l1.insert(
                     addr >> BLOCK_SHIFT,
                     L1Entry::Block {
@@ -250,7 +250,7 @@ impl Stage2Table {
         let end = ipa.wrapping_add(size);
         while addr != end {
             let l1_index = addr >> BLOCK_SHIFT;
-            if addr % BLOCK_SIZE == 0
+            if addr.is_multiple_of(BLOCK_SIZE)
                 && end.wrapping_sub(addr) >= BLOCK_SIZE
                 && matches!(self.l1.get(&l1_index), Some(L1Entry::Block { .. }))
             {

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ARMv7 processor mode, as encoded in the low five bits of the CPSR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CpuMode {
     /// Unprivileged application mode.
     User,
@@ -17,6 +17,7 @@ pub enum CpuMode {
     /// Interrupt handling mode.
     Irq,
     /// Supervisor mode — the privileged mode a guest kernel runs in.
+    #[default]
     Supervisor,
     /// Abort mode, entered on memory faults taken within the same
     /// privilege level.
@@ -69,12 +70,6 @@ impl CpuMode {
     /// Whether this mode is privileged (everything except `User`).
     pub fn is_privileged(self) -> bool {
         !matches!(self, CpuMode::User)
-    }
-}
-
-impl Default for CpuMode {
-    fn default() -> Self {
-        CpuMode::Supervisor
     }
 }
 

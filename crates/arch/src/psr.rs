@@ -94,7 +94,9 @@ impl fmt::Display for Psr {
             if self.irq_masked() { 'I' } else { '-' },
             if self.fiq_masked() { 'F' } else { '-' },
             if self.thumb() { 'T' } else { '-' },
-            self.mode().map(|m| m.to_string()).unwrap_or_else(|| "???".into()),
+            self.mode()
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "???".into()),
         )
     }
 }
@@ -124,7 +126,10 @@ mod tests {
     fn irq_mask_round_trips() {
         let psr = Psr::for_mode(CpuMode::Supervisor);
         assert!(psr.with_irq_masked(true).irq_masked());
-        assert!(!psr.with_irq_masked(true).with_irq_masked(false).irq_masked());
+        assert!(!psr
+            .with_irq_masked(true)
+            .with_irq_masked(false)
+            .irq_masked());
     }
 
     #[test]

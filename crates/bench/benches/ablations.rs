@@ -14,7 +14,7 @@
 //!   (the vector number) "default[s] to an IRQ error, which is
 //!   completely predictable"; injecting into it confirms the claim.
 //!
-//! Regenerate with `cargo bench -p certify-bench --bench ablations`.
+//! Regenerate with `cargo bench -p certify_bench --bench ablations`.
 
 use certify_arch::{CpuId, Reg};
 use certify_bench::{banner, run_and_print, BASE_SEED};
@@ -35,10 +35,8 @@ fn scenario_with_spec(name: &str, spec: InjectionSpec) -> Scenario {
 
 fn a0_trigger_mode() {
     banner("A0 (D1): call-count trigger (the paper's) vs time trigger");
-    let call_based = scenario_with_spec(
-        "e3-trigger-calls",
-        InjectionSpec::e3_nonroot_trap_medium(),
-    );
+    let call_based =
+        scenario_with_spec("e3-trigger-calls", InjectionSpec::e3_nonroot_trap_medium());
     run_and_print(call_based, TRIALS);
     let time_based = scenario_with_spec(
         "e3-trigger-time",
@@ -71,8 +69,8 @@ fn a2_register_subsets() {
         ("all sixteen", Reg::ALL.to_vec()),
     ];
     for (label, pool) in subsets {
-        let spec = InjectionSpec::e3_nonroot_trap_medium()
-            .with_model(FaultModel::SingleBitFlip { pool });
+        let spec =
+            InjectionSpec::e3_nonroot_trap_medium().with_model(FaultModel::SingleBitFlip { pool });
         let scenario = scenario_with_spec(&format!("e3-regs-{label}"), spec);
         println!("-- pool: {label}");
         run_and_print(scenario, TRIALS);

@@ -5,7 +5,7 @@
 //! "invalid arguments"; the root cell is not allocated at all — the
 //! correct, expected fail-stop behaviour.
 //!
-//! Regenerate with `cargo bench -p certify-bench --bench e1_root_high`.
+//! Regenerate with `cargo bench -p certify_bench --bench e1_root_high`.
 
 use certify_analysis::ExperimentReport;
 use certify_bench::{banner, run_and_print, DETERMINISTIC_TRIALS};
@@ -17,10 +17,7 @@ fn regenerate() {
     let result = run_and_print(Scenario::e1_root_high(), DETERMINISTIC_TRIALS);
     let report = ExperimentReport::e1(&result);
     println!("{report}");
-    assert!(
-        report.reproduced,
-        "E1 shape did not reproduce:\n{report}"
-    );
+    assert!(report.reproduced, "E1 shape did not reproduce:\n{report}");
 }
 
 fn main() {

@@ -11,7 +11,7 @@
 //! (cadence phase swept per seed; inconsistent states appear alongside
 //! isolated CPU parks).
 //!
-//! Regenerate with `cargo bench -p certify-bench --bench e2_nonroot_high`.
+//! Regenerate with `cargo bench -p certify_bench --bench e2_nonroot_high`.
 
 use certify_analysis::ExperimentReport;
 use certify_bench::{banner, run_and_print, BASE_SEED, DETERMINISTIC_TRIALS};

@@ -7,7 +7,7 @@
 //! park* (unhandled trap `0x24`, `cpu_park()` called, fault isolated —
 //! destroying the cell returns CPU 1 without issue).
 //!
-//! Regenerate with `cargo bench -p certify-bench --bench e3_fig3_medium`.
+//! Regenerate with `cargo bench -p certify_bench --bench e3_fig3_medium`.
 
 use certify_analysis::{ExperimentReport, Figure3};
 use certify_bench::{banner, run_and_print, DISTRIBUTION_TRIALS};
@@ -24,7 +24,10 @@ fn regenerate() {
 
     let report = ExperimentReport::e3(&result);
     println!("{report}");
-    assert!(report.reproduced, "Figure 3 shape did not reproduce:\n{report}");
+    assert!(
+        report.reproduced,
+        "Figure 3 shape did not reproduce:\n{report}"
+    );
 }
 
 fn main() {

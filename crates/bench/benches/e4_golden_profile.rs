@@ -5,7 +5,7 @@
 //! `arch_handle_trap()` and `arch_handle_hvc()` — the virtualization-
 //! extension entry points of the ARMv7 port.
 //!
-//! Regenerate with `cargo bench -p certify-bench --bench e4_golden_profile`.
+//! Regenerate with `cargo bench -p certify_bench --bench e4_golden_profile`.
 
 use certify_analysis::ExperimentReport;
 use certify_bench::banner;

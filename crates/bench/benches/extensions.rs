@@ -12,7 +12,7 @@
 //!   root-side safety monitor: every E2 *inconsistent state* (cell
 //!   reported running but dead) now raises an alarm.
 //!
-//! Regenerate with `cargo bench -p certify-bench --bench extensions`.
+//! Regenerate with `cargo bench -p certify_bench --bench extensions`.
 
 use certify_analysis::ExperimentReport;
 use certify_bench::{banner, run_and_print, DISTRIBUTION_TRIALS};
@@ -53,11 +53,7 @@ fn e5b() {
     golden.name = "e5b-golden-control".into();
     golden.spec = None;
     let control = run_and_print(golden, 10);
-    let false_alarms: usize = control
-        .trials
-        .iter()
-        .map(|t| t.report.monitor_alarms)
-        .sum();
+    let false_alarms: usize = control.trials.iter().map(|t| t.report.monitor_alarms).sum();
     println!("false alarms across golden trials: {false_alarms}");
     assert_eq!(false_alarms, 0, "monitor raised false alarms");
 }

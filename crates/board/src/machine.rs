@@ -241,8 +241,13 @@ mod tests {
     #[test]
     fn ram_round_trip_through_bus() {
         let mut machine = Machine::new_banana_pi();
-        machine.write32(memmap::RAM_BASE + 0x40, 0x1234_5678).unwrap();
-        assert_eq!(machine.read32(memmap::RAM_BASE + 0x40).unwrap(), 0x1234_5678);
+        machine
+            .write32(memmap::RAM_BASE + 0x40, 0x1234_5678)
+            .unwrap();
+        assert_eq!(
+            machine.read32(memmap::RAM_BASE + 0x40).unwrap(),
+            0x1234_5678
+        );
     }
 
     #[test]
@@ -261,7 +266,10 @@ mod tests {
     fn gpio_write_through_bus_toggles() {
         let mut machine = Machine::new_banana_pi();
         machine
-            .write32(memmap::GPIO_BASE + memmap::GPIO_DATA_OFFSET, 1 << memmap::LED_PIN)
+            .write32(
+                memmap::GPIO_BASE + memmap::GPIO_DATA_OFFSET,
+                1 << memmap::LED_PIN,
+            )
             .unwrap();
         assert_eq!(machine.gpio.toggle_count(memmap::LED_PIN), 1);
     }

@@ -118,8 +118,10 @@ mod tests {
 
     #[test]
     fn devices_live_outside_dram() {
-        assert!(UART_BASE + UART_SIZE <= RAM_BASE);
-        assert!(GPIO_BASE + GPIO_SIZE <= RAM_BASE);
+        // Evaluated at compile time: a layout regression fails the
+        // build, not just the test run.
+        const _: () = assert!(UART_BASE + UART_SIZE <= RAM_BASE);
+        const _: () = assert!(GPIO_BASE + GPIO_SIZE <= RAM_BASE);
     }
 
     #[test]

@@ -144,7 +144,7 @@ impl Scenario {
 }
 
 /// One trial's result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrialResult {
     /// The trial's RNG seed.
     pub seed: u64,
@@ -192,35 +192,43 @@ impl Campaign {
 
     /// Runs all trials across `workers` threads (trials are fully
     /// independent systems).
+    ///
+    /// Workers pull trial indices from a shared atomic counter
+    /// (work-stealing: a worker stuck on a slow trial never blocks
+    /// the others), and every trial is seeded `base_seed + i` exactly
+    /// as in [`Campaign::run`] — so the returned trials are in seed
+    /// order and bit-identical to a sequential run, whatever the
+    /// worker count or OS scheduling.
     pub fn run_parallel(&self, workers: usize) -> CampaignResult {
-        let workers = workers.max(1);
+        let workers = workers.max(1).min(self.trials.max(1));
         let mut results: Vec<Option<TrialResult>> = (0..self.trials).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let scenario = &self.scenario;
+        let trials = self.trials;
         let base_seed = self.base_seed;
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..workers {
-                let next = &next;
-                handles.push(scope.spawn(move |_| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= self.trials {
-                            break;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= trials {
+                                break;
+                            }
+                            local.push((i, scenario.run_trial(base_seed + i as u64)));
                         }
-                        local.push((i, scenario.run_trial(base_seed + i as u64)));
-                    }
-                    local
-                }));
-            }
+                        local
+                    })
+                })
+                .collect();
             for handle in handles {
                 for (i, result) in handle.join().expect("campaign worker panicked") {
                     results[i] = Some(result);
                 }
             }
-        })
-        .expect("campaign scope panicked");
+        });
         CampaignResult {
             scenario_name: self.scenario.name.clone(),
             trials: results.into_iter().map(|r| r.expect("trial ran")).collect(),
@@ -229,7 +237,7 @@ impl Campaign {
 }
 
 /// Aggregated campaign outcomes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// The scenario that was run.
     pub scenario_name: String,
@@ -252,11 +260,7 @@ impl CampaignResult {
         if self.trials.is_empty() {
             return 0.0;
         }
-        let count = self
-            .trials
-            .iter()
-            .filter(|t| t.outcome == outcome)
-            .count();
+        let count = self.trials.iter().filter(|t| t.outcome == outcome).count();
         count as f64 / self.trials.len() as f64
     }
 

@@ -71,7 +71,7 @@ impl fmt::Display for Outcome {
 }
 
 /// A classified run with its supporting evidence.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunReport {
     /// The classified outcome.
     pub outcome: Outcome,
@@ -218,12 +218,16 @@ pub fn classify(system: &System) -> RunReport {
         )
     });
     if cpu1_unhandled {
-        if let Some(HvEvent::CpuParked { reason, .. }) = system
-            .hv
-            .events()
-            .iter()
-            .find(|e| matches!(e, HvEvent::CpuParked { cpu: CpuId(1), reason: ParkReason::UnhandledTrap(_), .. }))
-        {
+        if let Some(HvEvent::CpuParked { reason, .. }) = system.hv.events().iter().find(|e| {
+            matches!(
+                e,
+                HvEvent::CpuParked {
+                    cpu: CpuId(1),
+                    reason: ParkReason::UnhandledTrap(_),
+                    ..
+                }
+            )
+        }) {
             notes.push(format!("cpu1 parked: {reason}"));
         }
         notes.push("fault isolated to the non-root cell".into());
@@ -240,9 +244,11 @@ pub fn classify(system: &System) -> RunReport {
     }
 
     // --- Invalid arguments: clean management rejection ---------------
-    let rejected_enable = system.linux.records().iter().any(|r| {
-        matches!(r.op, MgmtOp::Enable | MgmtOp::CreateCell) && r.result < 0
-    });
+    let rejected_enable = system
+        .linux
+        .records()
+        .iter()
+        .any(|r| matches!(r.op, MgmtOp::Enable | MgmtOp::CreateCell) && r.result < 0);
     if rejected_enable && !system.hv.is_enabled() {
         notes.push("management operation rejected; hypervisor/cell not allocated".into());
         return RunReport {

@@ -89,7 +89,14 @@ pub struct Injector {
 
 impl Injector {
     /// Creates an injector for `spec`, seeded deterministically.
+    ///
+    /// # Panics
+    /// Panics if `spec.rate` is zero (`rate` is a public field, so a
+    /// caller can bypass `with_rate`'s validation; a zero rate would
+    /// otherwise silently degenerate to a single injection at call 0
+    /// because `0.is_multiple_of(0)` is true).
     pub fn new(spec: InjectionSpec, seed: u64) -> Injector {
+        assert!(spec.rate > 0, "injection rate must be non-zero");
         let mut rng = StdRng::seed_from_u64(seed);
         let phase = if spec.phase_jitter {
             use rand::Rng;
@@ -146,7 +153,7 @@ impl InjectionHook for Injector {
             }
             // The paper's trigger: once every `rate` calls.
             None => {
-                if self.filtered_calls % self.spec.rate != 0 {
+                if !self.filtered_calls.is_multiple_of(self.spec.rate) {
                     return;
                 }
             }

@@ -93,7 +93,10 @@ impl InjectionSpec {
         cpu_filter: Option<CpuId>,
     ) -> InjectionSpec {
         let targets: BTreeSet<HandlerKind> = targets.into_iter().collect();
-        assert!(!targets.is_empty(), "injection spec needs at least one target");
+        assert!(
+            !targets.is_empty(),
+            "injection spec needs at least one target"
+        );
         InjectionSpec {
             targets,
             cpu_filter,
@@ -134,9 +137,13 @@ impl InjectionSpec {
     /// (cell entry), so a rate-2 cadence with a single injection lands
     /// exactly on the cell-boot hypercall.
     pub fn e2_boot_window() -> InjectionSpec {
-        InjectionSpec::new(Intensity::High, [HandlerKind::ArchHandleHvc], Some(CpuId(1)))
-            .with_rate(2)
-            .with_max_injections(1)
+        InjectionSpec::new(
+            Intensity::High,
+            [HandlerKind::ArchHandleHvc],
+            Some(CpuId(1)),
+        )
+        .with_rate(2)
+        .with_max_injections(1)
     }
 
     /// E3 (Figure 3): medium intensity on the non-root cell's
@@ -217,11 +224,7 @@ mod tests {
 
     #[test]
     fn no_cpu_filter_matches_any_cpu() {
-        let spec = InjectionSpec::new(
-            Intensity::Medium,
-            [HandlerKind::ArchHandleTrap],
-            None,
-        );
+        let spec = InjectionSpec::new(Intensity::Medium, [HandlerKind::ArchHandleTrap], None);
         assert!(spec.matches(HandlerKind::ArchHandleTrap, CpuId(0)));
         assert!(spec.matches(HandlerKind::ArchHandleTrap, CpuId(1)));
     }

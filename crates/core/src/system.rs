@@ -341,10 +341,7 @@ mod tests {
     #[test]
     fn injector_fires_during_a_run() {
         let mut system = System::new(MgmtScript::bring_up_and_run(4000));
-        let log = system.install_injector(
-            InjectionSpec::e3_nonroot_trap_medium().with_rate(10),
-            7,
-        );
+        let log = system.install_injector(InjectionSpec::e3_nonroot_trap_medium().with_rate(10), 7);
         system.run(3000);
         assert!(!log.is_empty(), "no injections fired");
     }

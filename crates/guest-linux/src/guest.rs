@@ -113,7 +113,10 @@ impl LinuxGuest {
         for byte in line.bytes() {
             ctx.ram_write32(memmap::UART_BASE + memmap::UART_THR_OFFSET, u32::from(byte));
         }
-        ctx.ram_write32(memmap::UART_BASE + memmap::UART_THR_OFFSET, u32::from(b'\n'));
+        ctx.ram_write32(
+            memmap::UART_BASE + memmap::UART_THR_OFFSET,
+            u32::from(b'\n'),
+        );
     }
 
     fn stage(ctx: &mut GuestCtx<'_>, addr: u32, blob: &[u8]) {
@@ -126,7 +129,7 @@ impl LinuxGuest {
     }
 
     fn heartbeat(&mut self, ctx: &mut GuestCtx<'_>) {
-        if self.steps % HEARTBEAT_PERIOD != 0 {
+        if !self.steps.is_multiple_of(HEARTBEAT_PERIOD) {
             return;
         }
         if self.watchdog_armed {
@@ -303,10 +306,7 @@ impl LinuxGuest {
                             // Exactly at the window edge: one alarm per
                             // stall.
                             self.monitor_alarms.push(step);
-                            Self::uart_print(
-                                ctx,
-                                "[linux] safety-monitor: cell heartbeat lost",
-                            );
+                            Self::uart_print(ctx, "[linux] safety-monitor: cell heartbeat lost");
                         }
                         if state.remaining == 0 {
                             self.monitor = None;
@@ -483,9 +483,10 @@ mod tests {
         assert!(log.iter().any(|l| l.contains("Kernel panic - not syncing")));
         // A panicked kernel makes no further progress.
         let bytes = machine.uart.byte_count();
-        let mut ctx = GuestCtx::new(CpuId(0), &mut machine, &mut hv);
-        guest.step(&mut ctx);
-        drop(ctx);
+        {
+            let mut ctx = GuestCtx::new(CpuId(0), &mut machine, &mut hv);
+            guest.step(&mut ctx);
+        }
         assert_eq!(machine.uart.byte_count(), bytes);
     }
 
@@ -531,7 +532,10 @@ mod tests {
             .iter()
             .find(|r| matches!(r.op, MgmtOp::Enable))
             .expect("enable attempted");
-        assert_eq!(enable.result, certify_hypervisor::HvError::InvalidArguments.code());
+        assert_eq!(
+            enable.result,
+            certify_hypervisor::HvError::InvalidArguments.code()
+        );
         assert!(!hv.is_enabled());
         let log: Vec<String> = machine.uart.lines().into_iter().map(|(_, l)| l).collect();
         assert!(log.iter().any(|l| l.contains("invalid arguments")));

@@ -122,7 +122,7 @@ impl MgmtScript {
     /// be observed.
     pub fn enable_attempt(polls: usize) -> MgmtScript {
         let mut ops = vec![MgmtOp::Delay(8), MgmtOp::StageSystemConfig];
-        ops.extend(std::iter::repeat(MgmtOp::PollInfo).take(polls));
+        ops.extend(std::iter::repeat_n(MgmtOp::PollInfo, polls));
         ops.push(MgmtOp::Enable);
         ops.push(MgmtOp::RunFor(64));
         ops.push(MgmtOp::PollInfo);
@@ -262,7 +262,10 @@ mod tests {
     #[test]
     fn ops_display_is_stable() {
         assert_eq!(MgmtOp::Enable.to_string(), "enable");
-        assert_eq!(MgmtOp::RequestCpuOffline(1).to_string(), "request_cpu1_offline");
+        assert_eq!(
+            MgmtOp::RequestCpuOffline(1).to_string(),
+            "request_cpu1_offline"
+        );
         assert_eq!(MgmtOp::Restart(6).to_string(), "restart(@6)");
     }
 }

@@ -75,11 +75,31 @@ impl fmt::Display for MemFlags {
         write!(
             f,
             "{}{}{}{}{}",
-            if self.contains(MemFlags::READ) { "r" } else { "-" },
-            if self.contains(MemFlags::WRITE) { "w" } else { "-" },
-            if self.contains(MemFlags::EXECUTE) { "x" } else { "-" },
-            if self.contains(MemFlags::IO) { "i" } else { "-" },
-            if self.contains(MemFlags::SHARED) { "s" } else { "-" },
+            if self.contains(MemFlags::READ) {
+                "r"
+            } else {
+                "-"
+            },
+            if self.contains(MemFlags::WRITE) {
+                "w"
+            } else {
+                "-"
+            },
+            if self.contains(MemFlags::EXECUTE) {
+                "x"
+            } else {
+                "-"
+            },
+            if self.contains(MemFlags::IO) {
+                "i"
+            } else {
+                "-"
+            },
+            if self.contains(MemFlags::SHARED) {
+                "s"
+            } else {
+                "-"
+            },
         )
     }
 }
@@ -323,7 +343,7 @@ impl<'a> WordReader<'a> {
     /// All words from the current position to the end (for checksums).
     fn remaining_words(&self) -> Result<Vec<u32>, HvError> {
         let rest = &self.blob[self.pos..];
-        if rest.len() % 4 != 0 {
+        if !rest.len().is_multiple_of(4) {
             return Err(HvError::InvalidArguments);
         }
         Ok(rest
@@ -354,8 +374,16 @@ impl SystemConfig {
                 name: "banana-pi".into(),
                 cpus: vec![CpuId(0), CpuId(1)],
                 regions: vec![
-                    MemRegion::new(memmap::ROOT_RAM_BASE, memmap::ROOT_RAM_SIZE, MemFlags::rwx()),
-                    MemRegion::new(memmap::IVSHMEM_BASE, memmap::IVSHMEM_SIZE, MemFlags::shared_rw()),
+                    MemRegion::new(
+                        memmap::ROOT_RAM_BASE,
+                        memmap::ROOT_RAM_SIZE,
+                        MemFlags::rwx(),
+                    ),
+                    MemRegion::new(
+                        memmap::IVSHMEM_BASE,
+                        memmap::IVSHMEM_SIZE,
+                        MemFlags::shared_rw(),
+                    ),
                     MemRegion::new(memmap::UART_BASE, memmap::UART_SIZE, MemFlags::rw()),
                     MemRegion::new(memmap::WDT_BASE, memmap::WDT_SIZE, MemFlags::rw()),
                     MemRegion::new(memmap::GPIO_BASE, memmap::GPIO_SIZE, MemFlags::io()),
@@ -374,8 +402,16 @@ impl SystemConfig {
             name: "freertos-demo".into(),
             cpus: vec![CpuId(1)],
             regions: vec![
-                MemRegion::new(memmap::RTOS_RAM_BASE, memmap::RTOS_RAM_SIZE, MemFlags::rwx()),
-                MemRegion::new(memmap::IVSHMEM_BASE, memmap::IVSHMEM_SIZE, MemFlags::shared_rw()),
+                MemRegion::new(
+                    memmap::RTOS_RAM_BASE,
+                    memmap::RTOS_RAM_SIZE,
+                    MemFlags::rwx(),
+                ),
+                MemRegion::new(
+                    memmap::IVSHMEM_BASE,
+                    memmap::IVSHMEM_SIZE,
+                    MemFlags::shared_rw(),
+                ),
                 MemRegion::new(memmap::GPIO_BASE, memmap::GPIO_SIZE, MemFlags::io()),
             ],
             irqs: vec![IrqId(memmap::IVSHMEM_IRQ)],
@@ -435,7 +471,9 @@ impl SystemConfig {
             .chunks(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        let cell_sum = cell_payload.iter().fold(0u32, |acc, w| acc.wrapping_add(*w));
+        let cell_sum = cell_payload
+            .iter()
+            .fold(0u32, |acc, w| acc.wrapping_add(*w));
         cell_blob[4..8].copy_from_slice(&cell_sum.to_le_bytes());
         let root = CellConfig::deserialize(&cell_blob)?;
 

@@ -81,7 +81,8 @@ impl<'a> GuestCtx<'a> {
     /// Performs a trapped MMIO write (the access faults to the
     /// hypervisor, which emulates it against the cell's assignment).
     pub fn mmio_write32(&mut self, addr: u32, value: u32) {
-        self.hv.guest_mmio_write(self.machine, self.cpu, addr, value);
+        self.hv
+            .guest_mmio_write(self.machine, self.cpu, addr, value);
     }
 
     /// Performs a trapped MMIO read.
@@ -117,11 +118,7 @@ impl<'a> GuestCtx<'a> {
             if self.parked() {
                 return;
             }
-            self.hvc(
-                crate::hypercall::HVC_DEBUG_CONSOLE_PUTC,
-                u32::from(byte),
-                0,
-            );
+            self.hvc(crate::hypercall::HVC_DEBUG_CONSOLE_PUTC, u32::from(byte), 0);
         }
     }
 }

@@ -112,8 +112,14 @@ mod tests {
             HandlerKind::IrqchipHandleIrq.function_name(),
             "irqchip_handle_irq"
         );
-        assert_eq!(HandlerKind::ArchHandleTrap.function_name(), "arch_handle_trap");
-        assert_eq!(HandlerKind::ArchHandleHvc.function_name(), "arch_handle_hvc");
+        assert_eq!(
+            HandlerKind::ArchHandleTrap.function_name(),
+            "arch_handle_trap"
+        );
+        assert_eq!(
+            HandlerKind::ArchHandleHvc.function_name(),
+            "arch_handle_hvc"
+        );
     }
 
     #[test]

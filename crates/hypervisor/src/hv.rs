@@ -131,7 +131,10 @@ impl Hypervisor {
 
     /// Calls observed for `handler` on `cpu` (the golden-run profile).
     pub fn call_count(&self, handler: HandlerKind, cpu: CpuId) -> u64 {
-        self.call_counts.get(&(handler, cpu.0)).copied().unwrap_or(0)
+        self.call_counts
+            .get(&(handler, cpu.0))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// All `(handler, cpu, count)` profile rows.
@@ -185,7 +188,7 @@ impl Hypervisor {
     }
 
     fn read_staged_blob(&self, machine: &Machine, addr: u32) -> Result<Vec<u8>, HvError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(HvError::InvalidArguments);
         }
         let len = machine
@@ -355,8 +358,10 @@ impl Hypervisor {
         self.events.push(HvEvent::CpuParked { cpu, reason, step });
         if let Some(owner) = self.cpu_owner(cpu) {
             if owner != ROOT_CELL {
-                let comm = if let Some(cell) =
-                    self.cells.get_mut(owner.0 as usize).and_then(|c| c.as_mut())
+                let comm = if let Some(cell) = self
+                    .cells
+                    .get_mut(owner.0 as usize)
+                    .and_then(|c| c.as_mut())
                 {
                     if matches!(reason, ParkReason::UnhandledTrap(_)) {
                         cell.mark_failed();
@@ -829,7 +834,12 @@ impl Hypervisor {
             return Err(HvError::InvalidArguments);
         }
         // Existence check before any side effect.
-        let regions = self.cell(id).ok_or(HvError::NoSuchCell)?.config.regions.clone();
+        let regions = self
+            .cell(id)
+            .ok_or(HvError::NoSuchCell)?
+            .config
+            .regions
+            .clone();
         self.reclaim_cell_resources(machine, id);
         // Scrub the cell's private memory.
         for region in &regions {
@@ -886,9 +896,7 @@ impl Hypervisor {
             return Err(HvError::InvalidArguments);
         }
         let step = machine.now();
-        machine
-            .uart
-            .write_reg(memmap::UART_THR_OFFSET, arg1, step);
+        machine.uart.write_reg(memmap::UART_THR_OFFSET, arg1, step);
         Ok(0)
     }
 
@@ -1158,7 +1166,8 @@ impl Hypervisor {
                     .map(|r| r.flags.contains(MemFlags::IO))
                     .unwrap_or(false);
                 if !emulatable {
-                    self.events.push(HvEvent::AccessViolation { cpu, addr, step });
+                    self.events
+                        .push(HvEvent::AccessViolation { cpu, addr, step });
                     self.park_cpu(
                         machine,
                         cpu,
@@ -1259,13 +1268,7 @@ mod tests {
         let mut hv = Hypervisor::new(platform.clone());
         let addr = memmap::ROOT_RAM_BASE + 0x0100_0000;
         hv.stage_blob(&mut machine, addr, &platform.serialize());
-        let ret = hv.handle_hvc(
-            &mut machine,
-            CpuId(0),
-            hc::HVC_HYPERVISOR_ENABLE,
-            addr,
-            0,
-        );
+        let ret = hv.handle_hvc(&mut machine, CpuId(0), hc::HVC_HYPERVISOR_ENABLE, addr, 0);
         assert_eq!(ret, 0);
         (machine, hv)
     }
@@ -1273,9 +1276,16 @@ mod tests {
     /// Offline CPU 1, create, load and start the FreeRTOS cell.
     fn with_rtos_cell() -> (Machine, Hypervisor, CellId) {
         let (mut machine, mut hv) = enabled_system();
-        assert_eq!(hv.handle_hvc(&mut machine, CpuId(1), hc::HVC_CPU_OFF, 0, 0), 0);
+        assert_eq!(
+            hv.handle_hvc(&mut machine, CpuId(1), hc::HVC_CPU_OFF, 0, 0),
+            0
+        );
         let blob_addr = memmap::ROOT_RAM_BASE + 0x0200_0000;
-        hv.stage_blob(&mut machine, blob_addr, &SystemConfig::freertos_cell().serialize());
+        hv.stage_blob(
+            &mut machine,
+            blob_addr,
+            &SystemConfig::freertos_cell().serialize(),
+        );
         let id = hv.handle_hvc(&mut machine, CpuId(0), hc::HVC_CELL_CREATE, blob_addr, 0);
         assert!(id > 0, "cell_create failed: {id}");
         let id = CellId(id as u32);
@@ -1377,7 +1387,10 @@ mod tests {
         assert_eq!(hv.cpu_owner(CpuId(1)), Some(id));
         // The start SGI is pending on CPU 1.
         assert!(machine.gic.has_pending(CpuId(1)));
-        assert_eq!(hv.boot_pending(CpuId(1)), Some(SystemConfig::freertos_cell().entry));
+        assert_eq!(
+            hv.boot_pending(CpuId(1)),
+            Some(SystemConfig::freertos_cell().entry)
+        );
 
         // Boot the CPU into the cell.
         assert_eq!(hv.handle_irq(&mut machine, CpuId(1)), IrqDelivery::MgmtWake);

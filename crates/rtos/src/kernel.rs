@@ -181,8 +181,7 @@ impl Rtos {
             .max_by(|a, b| {
                 a.effective_priority().cmp(&b.effective_priority()).then(
                     // Older stamp wins: reverse comparison.
-                    self.last_scheduled[b.id.0 as usize]
-                        .cmp(&self.last_scheduled[a.id.0 as usize]),
+                    self.last_scheduled[b.id.0 as usize].cmp(&self.last_scheduled[a.id.0 as usize]),
                 )
             })
             .map(|t| t.id)
@@ -515,7 +514,7 @@ mod tests {
                 }),
             );
             assert_eq!(rtos.run_slice(ctx), Some(low)); // acquires
-            // A medium spinner that would normally starve `low`.
+                                                        // A medium spinner that would normally starve `low`.
             let medium = rtos.spawn("medium", Priority::NORMAL, Box::new(Spin));
             // A high-priority task that needs the same mutex.
             let high = rtos.spawn(
@@ -531,10 +530,7 @@ mod tests {
             assert_eq!(rtos.task(high).unwrap().state, TaskState::Blocked);
             // `low` must now outrank `medium` thanks to inheritance —
             // without it, `medium` would run here (priority inversion).
-            assert_eq!(
-                rtos.task(low).unwrap().effective_priority(),
-                Priority::HIGH
-            );
+            assert_eq!(rtos.task(low).unwrap().effective_priority(), Priority::HIGH);
             for _ in 0..4 {
                 assert_eq!(rtos.run_slice(ctx), Some(low), "inversion: medium ran");
             }

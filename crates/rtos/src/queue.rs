@@ -125,7 +125,10 @@ impl QueueSet {
 
     /// Total items ever enqueued on `id`.
     pub fn sent_total(&self, id: QueueId) -> u64 {
-        self.queues.get(id.0 as usize).map(|q| q.sent_total).unwrap_or(0)
+        self.queues
+            .get(id.0 as usize)
+            .map(|q| q.sent_total)
+            .unwrap_or(0)
     }
 
     /// Total items ever dequeued from `id`.

@@ -248,7 +248,10 @@ mod tests {
     #[test]
     fn missing_primitives_reported() {
         let mut sync = SyncSet::new();
-        assert_eq!(sync.try_lock(MutexId(0), TaskId(0)), LockOutcome::NoSuchMutex);
+        assert_eq!(
+            sync.try_lock(MutexId(0), TaskId(0)),
+            LockOutcome::NoSuchMutex
+        );
         assert_eq!(sync.sem_take(SemaphoreId(0)), TakeOutcome::NoSuchSemaphore);
         assert!(!sync.sem_give(SemaphoreId(0)));
         assert!(!sync.is_free(MutexId(0)));

@@ -70,7 +70,7 @@ impl TaskCode for BlinkTask {
         if env.ctx.parked() {
             return SliceResult::Done;
         }
-        if self.toggles % 32 == 0 {
+        if self.toggles.is_multiple_of(32) {
             env.print_line(&format!("[rtos] blink #{}", self.toggles));
         }
         SliceResult::Delay(BLINK_PERIOD_TICKS)
@@ -95,7 +95,7 @@ impl TaskCode for SenderTask {
     fn execute_slice(&mut self, env: &mut TaskEnv<'_, '_>) -> SliceResult {
         match env.try_send(self.queue, self.next) {
             SendOutcome::Sent => {
-                if self.next % 64 == 0 {
+                if self.next.is_multiple_of(64) {
                     env.print_line(&format!("[rtos] sent {}", self.next));
                 }
                 self.next = self.next.wrapping_add(1);
@@ -132,7 +132,7 @@ impl TaskCode for ReceiverTask {
             RecvOutcome::Received(v) => {
                 self.received += 1;
                 self.checksum = self.checksum.wrapping_mul(31).wrapping_add(v);
-                if self.received % 64 == 0 {
+                if self.received.is_multiple_of(64) {
                     env.print_line(&format!(
                         "[rtos] recv {} sum {:08x}",
                         self.received, self.checksum
@@ -171,14 +171,18 @@ impl FloatTask {
 impl TaskCode for FloatTask {
     fn execute_slice(&mut self, env: &mut TaskEnv<'_, '_>) -> SliceResult {
         for _ in 0..16 {
-            let sign = if self.term % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if self.term.is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
             self.acc += sign / (2.0 * self.term as f64 + 1.0);
             self.term += 1;
         }
         self.slices += 1;
         // Heartbeats are staggered per task id so the serial log shows
         // steady liveness instead of lockstep bursts.
-        if (self.slices + 29 * self.id as u64) % HEARTBEAT_SLICES == 0 {
+        if (self.slices + 29 * self.id as u64).is_multiple_of(HEARTBEAT_SLICES) {
             env.print_line(&format!("[rtos] float{} pi~{:.6}", self.id, self.acc * 4.0));
         }
         SliceResult::Yield
@@ -220,7 +224,7 @@ impl TaskCode for IntegerTask {
         }
         self.slices += 1;
         // Staggered like the float tasks: see the comment there.
-        if (self.slices + 4 * self.id as u64) % HEARTBEAT_SLICES == 0 {
+        if (self.slices + 4 * self.id as u64).is_multiple_of(HEARTBEAT_SLICES) {
             env.print_line(&format!("[rtos] int{:02} {:08x}", self.id, self.state));
         }
         SliceResult::Yield
@@ -289,7 +293,11 @@ pub fn spawn_paper_workload(rtos: &mut Rtos) {
         Box::new(ReceiverTask::new(queue)),
     );
     for i in 0..NUM_FLOAT_TASKS {
-        rtos.spawn(format!("float{i}"), Priority::LOW, Box::new(FloatTask::new(i)));
+        rtos.spawn(
+            format!("float{i}"),
+            Priority::LOW,
+            Box::new(FloatTask::new(i)),
+        );
     }
     for i in 0..NUM_INTEGER_TASKS {
         rtos.spawn(
@@ -379,7 +387,10 @@ mod tests {
             hv.handle_hvc(&mut machine, CpuId(0), hc::HVC_HYPERVISOR_ENABLE, addr, 0),
             0
         );
-        assert_eq!(hv.handle_hvc(&mut machine, CpuId(1), hc::HVC_CPU_OFF, 0, 0), 0);
+        assert_eq!(
+            hv.handle_hvc(&mut machine, CpuId(1), hc::HVC_CPU_OFF, 0, 0),
+            0
+        );
         let cell_addr = memmap::ROOT_RAM_BASE + 0x0200_0000;
         hv.stage_blob(
             &mut machine,
@@ -388,7 +399,13 @@ mod tests {
         );
         let id = hv.handle_hvc(&mut machine, CpuId(0), hc::HVC_CELL_CREATE, cell_addr, 0);
         assert!(id > 0);
-        hv.handle_hvc(&mut machine, CpuId(0), hc::HVC_CELL_SET_LOADABLE, id as u32, 0);
+        hv.handle_hvc(
+            &mut machine,
+            CpuId(0),
+            hc::HVC_CELL_SET_LOADABLE,
+            id as u32,
+            0,
+        );
         hv.handle_hvc(&mut machine, CpuId(0), hc::HVC_CELL_START, id as u32, 0);
         hv.handle_irq(&mut machine, CpuId(1));
         let entry = hv.boot_pending(CpuId(1)).unwrap();

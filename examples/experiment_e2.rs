@@ -64,9 +64,13 @@ fn main() {
     print!("{}", classify(&system));
 
     println!("== recovery: shutdown returns the resources ==");
-    let ret = system
-        .hv
-        .handle_hvc(&mut system.machine, CpuId(0), hc::HVC_CELL_SHUTDOWN, cell.0, 0);
+    let ret = system.hv.handle_hvc(
+        &mut system.machine,
+        CpuId(0),
+        hc::HVC_CELL_SHUTDOWN,
+        cell.0,
+        0,
+    );
     println!("cell_shutdown -> {ret}");
     println!("cpu1 owner: {:?}", system.hv.cpu_owner(CpuId(1)));
     assert_eq!(ret, 0);

@@ -52,10 +52,7 @@ fn main() {
     if which == "e3" {
         let figure = Figure3::from_campaign(&result);
         println!("{}", figure.render_chart());
-        println!(
-            "paper shape reproduced: {}",
-            figure.matches_paper_shape()
-        );
+        println!("paper shape reproduced: {}", figure.matches_paper_shape());
     }
 
     // Show three interesting trials in detail.

@@ -42,17 +42,21 @@ fn main() {
     println!("\n== phase 2: the non-root cell violates isolation ==");
     // Reach into the running system and make the rtos cell touch root
     // memory, exactly like a wild pointer would.
-    system
-        .hv
-        .guest_ram_write(&mut system.machine, CpuId(1), memmap::ROOT_RAM_BASE + 64, 0xbad);
+    system.hv.guest_ram_write(
+        &mut system.machine,
+        CpuId(1),
+        memmap::ROOT_RAM_BASE + 64,
+        0xbad,
+    );
     println!(
         "cpu1 parked: {:?}",
-        system.machine.cpu(CpuId(1)).park_reason().map(|r| r.to_string())
+        system
+            .machine
+            .cpu(CpuId(1))
+            .park_reason()
+            .map(|r| r.to_string())
     );
-    println!(
-        "cell state now: {}",
-        system.hv.cell(cell).unwrap().state()
-    );
+    println!("cell state now: {}", system.hv.cell(cell).unwrap().state());
 
     // The root cell keeps going.
     let root_led_before = system.machine.gpio.toggle_count(memmap::ROOT_LED_PIN);
@@ -65,32 +69,34 @@ fn main() {
     assert!(root_led_after > root_led_before);
 
     println!("\n== phase 3: reclaim and scrub ==");
-    let ret = system
-        .hv
-        .handle_hvc(&mut system.machine, CpuId(0), hc::HVC_CELL_SHUTDOWN, cell.0, 0);
+    let ret = system.hv.handle_hvc(
+        &mut system.machine,
+        CpuId(0),
+        hc::HVC_CELL_SHUTDOWN,
+        cell.0,
+        0,
+    );
     println!("cell_shutdown -> {ret}");
     assert_eq!(ret, 0);
     println!(
         "cpu1 owner back to root: {:?}",
         system.hv.cpu_owner(CpuId(1))
     );
-    assert_eq!(
-        system.hv.cell(cell).unwrap().state(),
-        CellState::ShutDown
-    );
+    assert_eq!(system.hv.cell(cell).unwrap().state(), CellState::ShutDown);
 
     let probe = memmap::RTOS_RAM_BASE + 0x40;
-    let ret = system
-        .hv
-        .handle_hvc(&mut system.machine, CpuId(0), hc::HVC_CELL_DESTROY, cell.0, 0);
+    let ret = system.hv.handle_hvc(
+        &mut system.machine,
+        CpuId(0),
+        hc::HVC_CELL_DESTROY,
+        cell.0,
+        0,
+    );
     println!("cell_destroy -> {ret}");
     assert_eq!(ret, 0);
     println!(
         "cell RAM scrubbed: word at 0x{probe:08x} = {:#x}",
         system.machine.ram().read32(probe).unwrap()
     );
-    println!(
-        "\nroot cell health at the end: {}",
-        system.linux.health()
-    );
+    println!("\nroot cell health at the end: {}", system.linux.health());
 }

@@ -23,7 +23,10 @@ fn main() {
     }
 
     println!("\n=== observation channels ===");
-    println!("LED toggles (FreeRTOS blink task): {}", system.rtos_led_toggles());
+    println!(
+        "LED toggles (FreeRTOS blink task): {}",
+        system.rtos_led_toggles()
+    );
     println!(
         "RTOS serial lines since cell start: {}",
         system

@@ -1,0 +1,71 @@
+//! Parallel-vs-sequential determinism of the campaign engine.
+//!
+//! `Campaign::run_parallel` distributes trials over `std::thread::scope`
+//! workers through an atomic work-stealing index, but every trial is
+//! seeded `base_seed + i` and slotted back at index `i` — so the
+//! result must be *identical* (every field of every `TrialResult`,
+//! including full `RunReport` evidence) to sequential `run()`, for any
+//! worker count and any OS scheduling of the workers.
+
+use certify_core::campaign::{Campaign, CampaignResult, Scenario};
+
+fn worker_counts() -> Vec<usize> {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1, 4, available];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn assert_parallel_matches_sequential(campaign: &Campaign) {
+    let sequential = campaign.run();
+    for workers in worker_counts() {
+        let parallel = campaign.run_parallel(workers);
+        assert_eq!(
+            sequential,
+            parallel,
+            "run_parallel({workers}) diverged from run() for scenario {}",
+            campaign.scenario().name
+        );
+    }
+}
+
+#[test]
+fn e1_campaign_is_deterministic_across_worker_counts() {
+    assert_parallel_matches_sequential(&Campaign::new(Scenario::e1_root_high(), 12, 0xD5));
+}
+
+#[test]
+fn e3_campaign_is_deterministic_across_worker_counts() {
+    assert_parallel_matches_sequential(&Campaign::new(Scenario::e3_fig3(), 8, 2022));
+}
+
+#[test]
+fn golden_campaign_is_deterministic_across_worker_counts() {
+    assert_parallel_matches_sequential(&Campaign::new(Scenario::golden(1500), 6, 7));
+}
+
+#[test]
+fn parallel_run_with_more_workers_than_trials() {
+    let campaign = Campaign::new(Scenario::e1_root_high(), 3, 1);
+    assert_eq!(campaign.run(), campaign.run_parallel(64));
+}
+
+#[test]
+fn zero_workers_clamps_to_one() {
+    let campaign = Campaign::new(Scenario::e1_root_high(), 2, 5);
+    assert_eq!(campaign.run(), campaign.run_parallel(0));
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Work stealing means trial->worker assignment varies run to run;
+    // the result must not.
+    let campaign = Campaign::new(Scenario::e3_fig3(), 6, 99);
+    let first: CampaignResult = campaign.run_parallel(4);
+    for _ in 0..3 {
+        assert_eq!(first, campaign.run_parallel(4));
+    }
+}

@@ -134,11 +134,7 @@ fn e3_panic_trials_show_kernel_panic_on_serial() {
     assert!(!panic_trials.is_empty(), "no panic trials: {result}");
     for trial in panic_trials {
         assert!(
-            trial
-                .report
-                .notes
-                .iter()
-                .any(|n| n.contains("panic")),
+            trial.report.notes.iter().any(|n| n.contains("panic")),
             "panic trial without panic evidence: {:?}",
             trial.report.notes
         );

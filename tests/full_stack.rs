@@ -40,7 +40,10 @@ fn golden_run_workload_makes_progress_on_every_task_class() {
     let kernel = system.rtos.kernel();
     let queue = certify_rtos::QueueId(0);
     assert!(kernel.queues().sent_total(queue) > 10, "sender starved");
-    assert!(kernel.queues().received_total(queue) > 10, "receiver starved");
+    assert!(
+        kernel.queues().received_total(queue) > 10,
+        "receiver starved"
+    );
 
     // Serial heartbeats from compute tasks.
     let lines = system.serial_lines();

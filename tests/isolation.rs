@@ -69,11 +69,18 @@ fn violation_is_contained_and_cell_recoverable() {
     assert!(system.machine.cpu(CpuId(1)).is_parked());
 
     // Root cell destroys the failed cell.
-    let ret = system
-        .hv
-        .handle_hvc(&mut system.machine, CpuId(0), hc::HVC_CELL_DESTROY, cell.0, 0);
+    let ret = system.hv.handle_hvc(
+        &mut system.machine,
+        CpuId(0),
+        hc::HVC_CELL_DESTROY,
+        cell.0,
+        0,
+    );
     assert_eq!(ret, 0);
-    assert_eq!(system.hv.cpu_owner(CpuId(1)), Some(certify_hypervisor::cell::ROOT_CELL));
+    assert_eq!(
+        system.hv.cpu_owner(CpuId(1)),
+        Some(certify_hypervisor::cell::ROOT_CELL)
+    );
     assert!(system.hv.cell(cell).is_none());
 
     // And can re-create it from scratch.
@@ -82,9 +89,13 @@ fn violation_is_contained_and_cell_recoverable() {
     system
         .hv
         .stage_blob(&mut system.machine, blob_addr, &config.serialize());
-    let id = system
-        .hv
-        .handle_hvc(&mut system.machine, CpuId(0), hc::HVC_CELL_CREATE, blob_addr, 0);
+    let id = system.hv.handle_hvc(
+        &mut system.machine,
+        CpuId(0),
+        hc::HVC_CELL_CREATE,
+        blob_addr,
+        0,
+    );
     assert!(id > 0, "re-create failed: {id}");
 }
 
@@ -92,9 +103,13 @@ fn violation_is_contained_and_cell_recoverable() {
 fn shutdown_returns_cpu_and_peripherals() {
     let mut system = running_system();
     let cell = system.rtos_cell().unwrap();
-    let ret = system
-        .hv
-        .handle_hvc(&mut system.machine, CpuId(0), hc::HVC_CELL_SHUTDOWN, cell.0, 0);
+    let ret = system.hv.handle_hvc(
+        &mut system.machine,
+        CpuId(0),
+        hc::HVC_CELL_SHUTDOWN,
+        cell.0,
+        0,
+    );
     assert_eq!(ret, 0);
     assert_eq!(
         system.hv.cpu_owner(CpuId(1)),
@@ -104,7 +119,10 @@ fn shutdown_returns_cpu_and_peripherals() {
     assert!(system.machine.cpu(CpuId(1)).is_parked());
     // The ivshmem doorbell line was released.
     assert_eq!(
-        system.machine.gic.targeted_cpu(certify_arch::IrqId(memmap::IVSHMEM_IRQ)),
+        system
+            .machine
+            .gic
+            .targeted_cpu(certify_arch::IrqId(memmap::IVSHMEM_IRQ)),
         None
     );
 }
@@ -121,9 +139,13 @@ fn destroy_scrubs_cell_memory() {
         system.machine.ram().read32(secret_addr).unwrap(),
         0x5ec2_e700
     );
-    system
-        .hv
-        .handle_hvc(&mut system.machine, CpuId(0), hc::HVC_CELL_DESTROY, cell.0, 0);
+    system.hv.handle_hvc(
+        &mut system.machine,
+        CpuId(0),
+        hc::HVC_CELL_DESTROY,
+        cell.0,
+        0,
+    );
     assert_eq!(system.machine.ram().read32(secret_addr).unwrap(), 0);
 }
 
@@ -135,14 +157,20 @@ fn shared_memory_stays_shared_until_destroy() {
         .hv
         .guest_ram_write(&mut system.machine, CpuId(1), addr, 0xfeed);
     assert_eq!(
-        system.hv.guest_ram_read(&mut system.machine, CpuId(0), addr),
+        system
+            .hv
+            .guest_ram_read(&mut system.machine, CpuId(0), addr),
         0xfeed
     );
     // Not scrubbed on destroy (shared region belongs to the root too).
     let cell = system.rtos_cell().unwrap();
-    system
-        .hv
-        .handle_hvc(&mut system.machine, CpuId(0), hc::HVC_CELL_DESTROY, cell.0, 0);
+    system.hv.handle_hvc(
+        &mut system.machine,
+        CpuId(0),
+        hc::HVC_CELL_DESTROY,
+        cell.0,
+        0,
+    );
     assert_eq!(system.machine.ram().read32(addr).unwrap(), 0xfeed);
 }
 

@@ -1,0 +1,26 @@
+//! Fixed-size array strategies (`array::uniform16`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[T; 16]` with every element drawn from the
+/// same element strategy.
+pub fn uniform16<S: Strategy>(element: S) -> Uniform16<S> {
+    Uniform16 { element }
+}
+
+/// Strategy returned by [`uniform16`].
+#[derive(Debug, Clone)]
+pub struct Uniform16<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform16<S> {
+    type Value = [S::Value; 16];
+
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; 16] {
+        // `from_fn` visits indices in order, keeping sampling
+        // deterministic.
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}

@@ -1,0 +1,86 @@
+//! Collection strategies (`collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A length specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> SizeRange {
+        SizeRange {
+            min: len,
+            max: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> SizeRange {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and
+/// whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.min + 1 == self.size.max {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let mut rng = TestRng::for_test("vec_respects_length_bounds");
+        let strategy = vec(0u8..10, 2..6);
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn fixed_length_vec() {
+        let mut rng = TestRng::for_test("fixed_length_vec");
+        let strategy = vec(0u8..10, 4usize);
+        assert_eq!(strategy.sample(&mut rng).len(), 4);
+    }
+}

@@ -1,0 +1,178 @@
+//! In-tree stand-in for `proptest`, used because this workspace
+//! builds fully offline.
+//!
+//! It supports the subset of the proptest surface the workspace's
+//! property tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), range / `any::<T>()` / tuple /
+//! `prop_map` / `collection::vec` / `array::uniform16` strategies,
+//! and the `prop_assert*` / `prop_assume!` macros. Two deliberate
+//! simplifications versus upstream:
+//!
+//! - **No shrinking.** A failing case panics with the failure message;
+//!   inputs are printed by the assert macros, not minimised.
+//! - **Deterministic sampling.** Each test derives its RNG seed from
+//!   its own name, so failures reproduce exactly on re-run.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current test case with a formatted message unless `cond`
+/// holds. Must run inside a context returning
+/// `Result<_, TestCaseError>` (the [`proptest!`] body or a closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case (without counting it) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn holds(x in 0u32..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100 || flag);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr)
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat in $strategy:expr ),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng); )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(reason),
+                        ) => {
+                            rejected += 1;
+                            if rejected > 1024 + config.cases * 16 {
+                                panic!(
+                                    "proptest `{}`: too many rejected cases \
+                                     (last prop_assume: {reason})",
+                                    stringify!($name),
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "proptest `{}` failed after {} passing case(s): {}",
+                                stringify!($name),
+                                accepted,
+                                message,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,17 @@
+//! In-tree stand-in for `serde`, used because this workspace builds
+//! fully offline.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report and
+//! result types to keep them serialization-ready, but no code path
+//! serializes anything yet — so the traits here are empty markers and
+//! the derives (re-exported from the sibling `serde_derive` stub) emit
+//! empty impls. Swapping the real serde back in is a `vendor/`-only
+//! change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

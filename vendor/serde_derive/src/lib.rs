@@ -1,0 +1,75 @@
+//! In-tree stand-in for `serde_derive`, used because this workspace
+//! builds fully offline.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! marker derives — nothing ever calls a serializer — so the derives
+//! here emit empty impls of the marker traits defined in the sibling
+//! `serde` stub crate. Dropping real `serde`/`serde_derive` back in
+//! requires no source changes outside `vendor/`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name a derive was applied to.
+///
+/// Scans top-level tokens for the `struct`/`enum`/`union` keyword and
+/// returns the identifier that follows. Attribute contents are token
+/// groups, so their interior idents are never visited.
+fn derived_type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                for next in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = next {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find a struct/enum name");
+}
+
+/// Rejects generic types: the stub emits `impl Trait for Name` with no
+/// generic parameters, so a generic derive target would not compile.
+fn assert_not_generic(input: &TokenStream) {
+    let mut after_name = false;
+    for token in input.clone() {
+        match &token {
+            TokenTree::Ident(ident) => {
+                let kw = ident.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    after_name = true;
+                }
+            }
+            TokenTree::Punct(p) if after_name && p.as_char() == '<' => {
+                panic!(
+                    "serde stub derive: generic types are not supported \
+                     (extend vendor/serde_derive if you need them)"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Marker derive matching `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    assert_not_generic(&input);
+    let name = derived_type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
+
+/// Marker derive matching `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    assert_not_generic(&input);
+    let name = derived_type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
