@@ -17,11 +17,14 @@ fn field(value: &str) -> String {
 
 /// Renders a campaign as per-trial CSV rows.
 ///
-/// Columns: `seed,outcome,injections,cell_state,cpu1_park,
-/// serial_lines,watchdog_expiry,monitor_alarms,notes`.
+/// Columns: `seed,outcome,injections,mem_injections,cell_state,
+/// cpu1_park,serial_lines,watchdog_expiry,monitor_alarms,
+/// applied_faults,notes`. The `applied_faults` column renders every
+/// register and memory fault of the trial through its `Display` impl,
+/// joined with `"; "`.
 pub fn campaign_to_csv(result: &CampaignResult) -> String {
     let mut out = String::from(
-        "seed,outcome,injections,cell_state,cpu1_park,serial_lines,watchdog_expiry,monitor_alarms,notes\n",
+        "seed,outcome,injections,mem_injections,cell_state,cpu1_park,serial_lines,watchdog_expiry,monitor_alarms,applied_faults,notes\n",
     );
     for trial in &result.trials {
         let cell_state = trial
@@ -35,17 +38,33 @@ pub fn campaign_to_csv(result: &CampaignResult) -> String {
             .watchdog_first_expiry
             .map(|s| s.to_string())
             .unwrap_or_default();
+        let applied_faults = trial
+            .report
+            .injections
+            .iter()
+            .flat_map(|r| r.faults.iter().map(|f| f.to_string()))
+            .chain(
+                trial
+                    .report
+                    .mem_injections
+                    .iter()
+                    .flat_map(|r| r.faults.iter().map(|f| f.to_string())),
+            )
+            .collect::<Vec<String>>()
+            .join("; ");
         let notes = trial.report.notes.join("; ");
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
             trial.seed,
             field(&trial.outcome.to_string()),
             trial.injection_count,
+            trial.mem_injection_count,
             field(&cell_state),
             field(&cpu1_park),
             trial.report.serial_line_count,
             watchdog,
             trial.report.monitor_alarms,
+            field(&applied_faults),
             field(&notes),
         ));
     }
@@ -71,6 +90,56 @@ mod tests {
         assert_eq!(field("a,b"), "\"a,b\"");
         assert_eq!(field("plain"), "plain");
         assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn rfc4180_quoting_round_trips_every_special_character() {
+        // RFC 4180: fields with comma, quote or newline are wrapped in
+        // double quotes and embedded quotes are doubled.
+        assert_eq!(field("a\nb"), "\"a\nb\"");
+        assert_eq!(field("\""), "\"\"\"\"");
+        assert_eq!(
+            field("r0, r1: \"both\"\ncorrupted"),
+            "\"r0, r1: \"\"both\"\"\ncorrupted\""
+        );
+        // Unquoting a quoted field restores the original.
+        let original = "notes, with \"quotes\" and, commas";
+        let quoted = field(original);
+        let inner = quoted
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap();
+        assert_eq!(inner.replace("\"\"", "\""), original);
+    }
+
+    #[test]
+    fn applied_faults_column_renders_register_and_memory_faults() {
+        use certify_core::memfault::{MemFaultModel, MemTarget};
+        use certify_core::Scenario;
+        let header = campaign_to_csv(&Campaign::new(Scenario::golden(800), 1, 1).run());
+        assert!(header.starts_with(
+            "seed,outcome,injections,mem_injections,cell_state,cpu1_park,serial_lines,watchdog_expiry,monitor_alarms,applied_faults,notes"
+        ));
+
+        // A register campaign renders register faults…
+        let reg = campaign_to_csv(&Campaign::new(Scenario::e1_root_high(), 2, 1).run());
+        assert!(reg.contains("bit"), "no register fault rendered:\n{reg}");
+
+        // …and a memory campaign renders memory faults; the multi-
+        // fault column is comma-free or quoted, so row counts hold.
+        let mem = campaign_to_csv(
+            &Campaign::new(
+                Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6()),
+                4,
+                0xE6,
+            )
+            .run(),
+        );
+        assert!(
+            mem.contains("ram") || mem.contains("s2-desc") || mem.contains("comm"),
+            "no memory fault rendered:\n{mem}"
+        );
+        assert_eq!(mem.lines().count(), 5, "one row per trial plus header");
     }
 
     #[test]

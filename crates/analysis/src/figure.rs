@@ -128,9 +128,11 @@ mod tests {
                     seed,
                     outcome: *outcome,
                     injection_count: 1,
+                    mem_injection_count: 0,
                     report: RunReport {
                         outcome: *outcome,
                         injections: Vec::new(),
+                        mem_injections: Vec::new(),
                         notes: Vec::new(),
                         cell_state: None,
                         cpu1_park: None,

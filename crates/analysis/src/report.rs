@@ -221,9 +221,11 @@ mod tests {
                     seed: i as u64,
                     outcome: *outcome,
                     injection_count: usize::from(injected),
+                    mem_injection_count: 0,
                     report: RunReport {
                         outcome: *outcome,
                         injections: Vec::new(),
+                        mem_injections: Vec::new(),
                         notes: Vec::new(),
                         cell_state: None,
                         cpu1_park: None,

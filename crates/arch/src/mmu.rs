@@ -320,6 +320,72 @@ impl Stage2Table {
     pub fn mapped_pages(&self) -> u64 {
         self.mapped_pages
     }
+
+    /// The raw descriptor word describing the page containing `ipa`,
+    /// in the simplified encoding of [`desc`]: `0` when the page is
+    /// unmapped. This is the word a memory-fault campaign corrupts to
+    /// model MMU-table faults.
+    pub fn descriptor_word(&self, ipa: u32) -> u32 {
+        let Some(entry) = self.l1.get(&(ipa >> BLOCK_SHIFT)) else {
+            return 0;
+        };
+        let (frame, perms) = match entry {
+            L1Entry::Block { frame, perms } => {
+                // The page's output frame within the 4 MiB block.
+                (frame + ((ipa >> PAGE_SHIFT) & 0x3ff), *perms)
+            }
+            L1Entry::Table(pages) => match pages.get(&((ipa >> PAGE_SHIFT) & 0x3ff)) {
+                Some(page) => (page.frame, page.perms),
+                None => return 0,
+            },
+        };
+        let mut word = (frame << PAGE_SHIFT) | desc::VALID;
+        if perms.read {
+            word |= desc::READ;
+        }
+        if perms.write {
+            word |= desc::WRITE;
+        }
+        if perms.execute {
+            word |= desc::EXECUTE;
+        }
+        word
+    }
+
+    /// Replaces the descriptor of the page containing `ipa` with the
+    /// raw `word` ([`desc`] encoding). A cleared [`desc::VALID`] bit
+    /// unmaps the page; a set one (re)maps it to the encoded output
+    /// frame and permissions. This is how injected table corruption is
+    /// written back — including corruptions that conjure a mapping out
+    /// of a previously invalid descriptor.
+    pub fn set_descriptor_word(&mut self, ipa: u32, word: u32) {
+        let page_base = ipa & !(PAGE_SIZE - 1);
+        if word & desc::VALID == 0 {
+            self.unmap(page_base, PAGE_SIZE);
+            return;
+        }
+        let perms = S2Perms {
+            read: word & desc::READ != 0,
+            write: word & desc::WRITE != 0,
+            execute: word & desc::EXECUTE != 0,
+        };
+        self.map_page(page_base, word & !(PAGE_SIZE - 1), perms);
+    }
+}
+
+/// Bit layout of the simplified raw stage-2 descriptor word used by
+/// [`Stage2Table::descriptor_word`] / [`Stage2Table::set_descriptor_word`]:
+/// the output frame lives in bits 12 and up (like a real short-descriptor
+/// small page entry), the low bits carry validity and permissions.
+pub mod desc {
+    /// Descriptor is valid (a cleared bit means "translation fault").
+    pub const VALID: u32 = 1 << 0;
+    /// Reads permitted.
+    pub const READ: u32 = 1 << 1;
+    /// Writes permitted.
+    pub const WRITE: u32 = 1 << 2;
+    /// Instruction fetch permitted.
+    pub const EXECUTE: u32 = 1 << 3;
 }
 
 #[cfg(test)]
@@ -429,5 +495,71 @@ mod tests {
     fn perms_display() {
         assert_eq!(S2Perms::RWX.to_string(), "rwx");
         assert_eq!(S2Perms::RO.to_string(), "r--");
+    }
+
+    #[test]
+    fn descriptor_word_round_trips_page_mappings() {
+        let mut table = Stage2Table::new();
+        table.map_page(0x0000_1000, 0x4567_8000, S2Perms::RW);
+        let word = table.descriptor_word(0x0000_1abc);
+        assert_eq!(word & !0xfff, 0x4567_8000);
+        assert_eq!(word & 0xf, desc::VALID | desc::READ | desc::WRITE);
+        assert_eq!(table.descriptor_word(0x0000_2000), 0, "unmapped page");
+
+        // Writing the same word back is a no-op for translation.
+        table.set_descriptor_word(0x0000_1abc, word);
+        assert_eq!(
+            table.translate(0x0000_1040, AccessKind::Read),
+            Ok(0x4567_8040)
+        );
+    }
+
+    #[test]
+    fn descriptor_word_reads_through_blocks() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0000, BLOCK_SIZE, S2Perms::RWX);
+        let word = table.descriptor_word(0x4010_1234);
+        assert_eq!(word & !0xfff, 0x4010_1000, "block entry resolves per page");
+        assert_eq!(
+            word & 0xf,
+            desc::VALID | desc::READ | desc::WRITE | desc::EXECUTE
+        );
+    }
+
+    #[test]
+    fn clearing_the_valid_bit_unmaps_the_page() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0000, 0x3000, S2Perms::RW);
+        let word = table.descriptor_word(0x4000_1000);
+        table.set_descriptor_word(0x4000_1000, word & !desc::VALID);
+        assert!(table.translate(0x4000_1800, AccessKind::Read).is_err());
+        // The neighbours keep translating.
+        assert!(table.translate(0x4000_0000, AccessKind::Read).is_ok());
+        assert!(table.translate(0x4000_2000, AccessKind::Read).is_ok());
+        assert_eq!(table.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn corrupted_frame_bits_redirect_the_translation() {
+        let mut table = Stage2Table::new();
+        table.map_identity(0x4000_0000, PAGE_SIZE, S2Perms::RW);
+        let word = table.descriptor_word(0x4000_0000);
+        // Flip one output-frame bit: the page now aliases other memory.
+        table.set_descriptor_word(0x4000_0000, word ^ (1 << 20));
+        assert_eq!(
+            table.translate(0x4000_0040, AccessKind::Read),
+            Ok(0x4010_0040)
+        );
+    }
+
+    #[test]
+    fn valid_word_on_an_unmapped_page_conjures_a_mapping() {
+        let mut table = Stage2Table::new();
+        table.set_descriptor_word(0x4000_0000, 0x4567_8000 | desc::VALID | desc::READ);
+        assert_eq!(
+            table.translate(0x4000_0010, AccessKind::Read),
+            Ok(0x4567_8010)
+        );
+        assert!(table.translate(0x4000_0010, AccessKind::Write).is_err());
     }
 }

@@ -111,6 +111,7 @@ fn a4_irqchip_inclusion() {
         name: "a4-irqchip".into(),
         script: MgmtScript::bring_up_and_run(u64::MAX / 2),
         spec: Some(spec),
+        mem_spec: None,
         steps: 4500,
         rtos_heartbeat: false,
     };

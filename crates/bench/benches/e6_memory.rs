@@ -1,0 +1,83 @@
+//! E6 — memory-fault campaigns: model × region sweep over the memory
+//! fault subsystem (the "wider and customizable set of fault models"
+//! of the paper's future work, applied to RAM, stage-2 translation
+//! tables and the communication region).
+//!
+//! Expected shape: RAM faults into the mostly-untouched non-root slice
+//! are dominated by *silent data corruption*; stage-2 descriptor
+//! corruption escalates to *translation fault storms*; comm-region
+//! corruption either stays silent (a lying `cell list`) or kills the
+//! cell outright when live words are hit.
+//!
+//! Regenerate with `cargo bench -p certify_bench --bench e6_memory`.
+
+use certify_bench::{banner, run_and_print, BASE_SEED};
+use certify_core::campaign::{Campaign, Scenario};
+use certify_core::memfault::{MemFaultModel, MemRegionKind, MemTarget};
+use certify_core::Outcome;
+use criterion::{black_box, Criterion};
+
+const TRIALS: usize = 40;
+
+fn regenerate() {
+    banner("E6: memory faults — model x region sweep");
+    let regions = [
+        MemRegionKind::NonRootRam,
+        MemRegionKind::Stage2Tables,
+        MemRegionKind::CommRegion,
+    ];
+    let mut storms = 0usize;
+    let mut silent = 0usize;
+    for model in MemFaultModel::e6_models() {
+        for region in regions {
+            let scenario = Scenario::e6_memory(model.clone(), MemTarget::only(region));
+            println!("\n--- {model} x {region} ---");
+            let result = run_and_print(scenario, TRIALS);
+            assert!(
+                result.mem_injected_trials() > 0,
+                "{model} x {region}: no trial applied a memory fault"
+            );
+            storms += result
+                .trials
+                .iter()
+                .filter(|t| t.outcome == Outcome::TranslationFaultStorm)
+                .count();
+            silent += result
+                .trials
+                .iter()
+                .filter(|t| t.outcome == Outcome::SilentDataCorruption)
+                .count();
+        }
+    }
+    println!("\nsweep totals: {storms} translation-fault storms, {silent} silent corruptions");
+    assert!(storms > 0, "no stage-2 corruption escalated to a storm");
+    assert!(silent > 0, "no fault stayed silent");
+
+    banner("E6b: mixed register+memory campaign (E7)");
+    let mixed = Campaign::new(Scenario::e7_mixed(), TRIALS, BASE_SEED).run_parallel(8);
+    println!("{mixed}");
+    assert!(mixed.injected_trials() > 0);
+    assert!(mixed.mem_injected_trials() > 0);
+}
+
+fn main() {
+    regenerate();
+    let mut criterion = Criterion::default().configure_from_args().sample_size(10);
+    let scenario = Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6());
+    criterion.bench_function("e6_single_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.run_trial(seed))
+        });
+    });
+    let mixed = Scenario::e7_mixed();
+    criterion.bench_function("e7_mixed_single_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(mixed.run_trial(seed))
+        });
+    });
+    criterion.final_summary();
+}

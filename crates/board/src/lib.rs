@@ -42,6 +42,6 @@ pub mod watchdog;
 
 pub use gpio::Gpio;
 pub use machine::{BusFault, Machine, MmioDevice};
-pub use ram::Ram;
+pub use ram::{OutOfRange, Ram, RamFault};
 pub use uart::Uart;
 pub use watchdog::Watchdog;

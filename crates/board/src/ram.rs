@@ -19,6 +19,19 @@ pub struct Ram {
     pages: HashMap<u32, Vec<u8>>,
 }
 
+/// One word-granular corruption applied through the fault helpers
+/// ([`Ram::flip_bits32`], [`Ram::force32`], [`Ram::splat_range`]):
+/// the address plus the before/after bytes, for the injection log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RamFault {
+    /// Address of the corrupted word.
+    pub addr: u32,
+    /// Word value before the corruption.
+    pub before: u32,
+    /// Word value after the corruption.
+    pub after: u32,
+}
+
 /// Error returned for accesses outside the RAM window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutOfRange {
@@ -69,7 +82,8 @@ impl Ram {
     }
 
     fn check(&self, addr: u32, len: u32) -> Result<(), OutOfRange> {
-        if !self.contains(addr) || !self.contains(addr + (len - 1)) {
+        let end = addr.checked_add(len - 1).ok_or(OutOfRange { addr })?;
+        if !self.contains(addr) || !self.contains(end) {
             return Err(OutOfRange { addr });
         }
         Ok(())
@@ -139,6 +153,95 @@ impl Ram {
     /// Number of 4 KiB pages actually materialised.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Whether the page containing `addr` has been materialised —
+    /// i.e. something has been written near it. Fault-injection uses
+    /// this to distinguish corruption of memory the workload actually
+    /// touched from corruption of pristine DRAM.
+    pub fn is_resident(&self, addr: u32) -> bool {
+        self.contains(addr) && self.pages.contains_key(&((addr - self.base) >> PAGE_SHIFT))
+    }
+
+    /// Base addresses of all materialised pages, sorted ascending —
+    /// the workload's memory working set. Sorting makes the list
+    /// deterministic (the backing map is hash-ordered), which seeded
+    /// fault-injection campaigns rely on.
+    pub fn resident_page_addrs(&self) -> Vec<u32> {
+        let mut addrs: Vec<u32> = self
+            .pages
+            .keys()
+            .map(|&page| self.base + (page << PAGE_SHIFT))
+            .collect();
+        addrs.sort_unstable();
+        addrs
+    }
+
+    /// Flips the bits of `mask` in the 32-bit word at `addr`,
+    /// returning the recorded before/after values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] if any byte falls outside the window.
+    pub fn flip_bits32(&mut self, addr: u32, mask: u32) -> Result<RamFault, OutOfRange> {
+        let before = self.read32(addr)?;
+        let after = before ^ mask;
+        self.write32(addr, after)?;
+        Ok(RamFault {
+            addr,
+            before,
+            after,
+        })
+    }
+
+    /// Forces the 32-bit word at `addr` to `value` (stuck-at fault),
+    /// returning the recorded before/after values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] if any byte falls outside the window.
+    pub fn force32(&mut self, addr: u32, value: u32) -> Result<RamFault, OutOfRange> {
+        let before = self.read32(addr)?;
+        self.write32(addr, value)?;
+        Ok(RamFault {
+            addr,
+            before,
+            after: value,
+        })
+    }
+
+    /// Overwrites `words` consecutive 32-bit words starting at `addr`
+    /// with `pattern` (a burst fault). Returns the fault record of the
+    /// first word plus the number of words whose value actually
+    /// changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfRange`] if any byte of the burst falls outside
+    /// the window; no partial burst is applied.
+    pub fn splat_range(
+        &mut self,
+        addr: u32,
+        words: u32,
+        pattern: u32,
+    ) -> Result<(RamFault, u32), OutOfRange> {
+        if words == 0 {
+            return Err(OutOfRange { addr });
+        }
+        let len = words.checked_mul(4).ok_or(OutOfRange { addr })?;
+        self.check(addr, len)?;
+        let mut changed = 0;
+        let mut first = None;
+        for i in 0..words {
+            let fault = self.force32(addr + 4 * i, pattern)?;
+            if fault.before != fault.after {
+                changed += 1;
+            }
+            if first.is_none() {
+                first = Some(fault);
+            }
+        }
+        Ok((first.expect("words > 0"), changed))
     }
 
     /// Zeroes a sub-range (page contents only where resident). Used to
@@ -232,5 +335,67 @@ mod tests {
     #[should_panic(expected = "must not wrap")]
     fn wrapping_window_rejected() {
         let _ = Ram::new(0xffff_f000, 0x2000);
+    }
+
+    #[test]
+    fn flip_bits32_records_before_and_after_and_is_self_inverse() {
+        let mut ram = small();
+        ram.write32(0x4000_0200, 0x1234_5678).unwrap();
+        let fault = ram.flip_bits32(0x4000_0200, 0x0000_0011).unwrap();
+        assert_eq!(fault.before, 0x1234_5678);
+        assert_eq!(fault.after, 0x1234_5669);
+        assert_eq!(ram.read32(0x4000_0200).unwrap(), 0x1234_5669);
+        // Same mask again restores the original value.
+        let fault = ram.flip_bits32(0x4000_0200, 0x0000_0011).unwrap();
+        assert_eq!(fault.after, 0x1234_5678);
+    }
+
+    #[test]
+    fn force32_is_a_stuck_at_fault() {
+        let mut ram = small();
+        ram.write32(0x4000_0300, 0xffff_ffff).unwrap();
+        let fault = ram.force32(0x4000_0300, 0).unwrap();
+        assert_eq!((fault.before, fault.after), (0xffff_ffff, 0));
+        assert_eq!(ram.read32(0x4000_0300).unwrap(), 0);
+    }
+
+    #[test]
+    fn splat_range_counts_changed_words() {
+        let mut ram = small();
+        ram.write32(0x4000_0400, 0xaaaa_aaaa).unwrap();
+        ram.write32(0x4000_0408, 0xaaaa_aaaa).unwrap();
+        let (first, changed) = ram.splat_range(0x4000_0400, 4, 0xaaaa_aaaa).unwrap();
+        assert_eq!(first.before, 0xaaaa_aaaa);
+        assert_eq!(changed, 2, "two of four words were zero before");
+        // A burst straddling the window end is rejected whole.
+        assert!(ram.splat_range(0x4000_fffc, 2, 0).is_err());
+        assert!(ram.splat_range(0x4000_0000, 0, 0).is_err());
+        // A length whose byte count overflows u32 is rejected, not
+        // partially applied.
+        assert!(ram.splat_range(0x4000_0000, u32::MAX / 2, 0).is_err());
+        assert_eq!(ram.read32(0x4000_0000).unwrap(), 0, "no partial write");
+    }
+
+    #[test]
+    fn residency_tracks_materialised_pages() {
+        let mut ram = small();
+        assert!(!ram.is_resident(0x4000_2000));
+        ram.write8(0x4000_2abc, 1).unwrap();
+        assert!(ram.is_resident(0x4000_2000));
+        assert!(ram.is_resident(0x4000_2fff));
+        assert!(!ram.is_resident(0x4000_3000));
+        assert!(!ram.is_resident(0x3fff_ffff));
+    }
+
+    #[test]
+    fn resident_page_addrs_are_sorted_page_bases() {
+        let mut ram = small();
+        ram.write8(0x4000_f123, 1).unwrap();
+        ram.write8(0x4000_2abc, 1).unwrap();
+        ram.write8(0x4000_0001, 1).unwrap();
+        assert_eq!(
+            ram.resident_page_addrs(),
+            vec![0x4000_0000, 0x4000_2000, 0x4000_f000]
+        );
     }
 }

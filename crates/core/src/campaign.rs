@@ -8,12 +8,17 @@
 //! fault injection study the paper cites [10]).
 
 use crate::classify::{classify, Outcome, RunReport};
-use crate::spec::InjectionSpec;
+use crate::memfault::{MemFaultModel, MemTarget};
+use crate::spec::{InjectionSpec, MemorySpec};
 use crate::system::System;
 use certify_guest_linux::MgmtScript;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Seed offset decorrelating a trial's memory-injection RNG from its
+/// register-injection RNG (both are derived from the same trial seed).
+const MEM_SEED_OFFSET: u64 = 0x6d65_6d66; // "memf"
 
 /// A fully specified experiment.
 #[derive(Debug, Clone)]
@@ -22,8 +27,12 @@ pub struct Scenario {
     pub name: String,
     /// The root-cell management script.
     pub script: MgmtScript,
-    /// The injection specification; `None` = golden run.
+    /// The register-injection specification; `None` = no register
+    /// faults.
     pub spec: Option<InjectionSpec>,
+    /// The memory-injection specification; `None` = no memory faults.
+    /// Both specs may be set for mixed campaigns.
+    pub mem_spec: Option<MemorySpec>,
     /// Simulator steps per trial (the paper's "each test lasts 1
     /// min" becomes a fixed step budget).
     pub steps: u64,
@@ -39,6 +48,7 @@ impl Scenario {
             name: "golden".into(),
             script: MgmtScript::bring_up_and_run(steps),
             spec: None,
+            mem_spec: None,
             steps,
             rtos_heartbeat: false,
         }
@@ -54,6 +64,7 @@ impl Scenario {
             name: "e1-root-high".into(),
             script: MgmtScript::enable_attempt(49),
             spec: Some(InjectionSpec::e1_root_high()),
+            mem_spec: None,
             steps: 400,
             rtos_heartbeat: false,
         }
@@ -66,6 +77,7 @@ impl Scenario {
             name: "e2-nonroot-high".into(),
             script: MgmtScript::lifecycle_cycling(150),
             spec: Some(InjectionSpec::e2_nonroot_high()),
+            mem_spec: None,
             steps: 8000,
             rtos_heartbeat: false,
         }
@@ -79,6 +91,7 @@ impl Scenario {
             name: "e2-boot-window".into(),
             script: MgmtScript::bring_up_and_run(1500),
             spec: Some(InjectionSpec::e2_boot_window()),
+            mem_spec: None,
             steps: 2500,
             rtos_heartbeat: false,
         }
@@ -91,6 +104,7 @@ impl Scenario {
             name: "e3-fig3-medium".into(),
             script: MgmtScript::bring_up_and_run(u64::MAX / 2),
             spec: Some(InjectionSpec::e3_nonroot_trap_medium()),
+            mem_spec: None,
             steps: 4500,
             rtos_heartbeat: false,
         }
@@ -104,6 +118,7 @@ impl Scenario {
             name: "e5a-watchdog".into(),
             script: MgmtScript::bring_up_with_watchdog(u64::MAX / 2),
             spec: Some(InjectionSpec::e3_nonroot_trap_medium()),
+            mem_spec: None,
             steps: 4500,
             rtos_heartbeat: false,
         }
@@ -117,7 +132,45 @@ impl Scenario {
             name: "e5b-monitor".into(),
             script: MgmtScript::bring_up_with_monitor(3000, 128),
             spec: Some(InjectionSpec::e2_boot_window()),
+            mem_spec: None,
             steps: 4000,
+            rtos_heartbeat: true,
+        }
+    }
+
+    /// E6 (extension): a memory-fault campaign firing `model` at
+    /// addresses drawn from `target`, paced by the non-root cell's
+    /// handler stream during steady-state operation.
+    pub fn e6_memory(model: MemFaultModel, target: MemTarget) -> Scenario {
+        let name = format!("e6-{}", model.name());
+        Scenario {
+            name,
+            script: MgmtScript::bring_up_and_run(u64::MAX / 2),
+            spec: None,
+            mem_spec: Some(MemorySpec::e6_memory(model, target)),
+            steps: 4500,
+            // The heartbeat task gives the victim a memory-active
+            // workload (periodic ivshmem posts through stage-2) —
+            // without it, table corruption could never manifest.
+            rtos_heartbeat: true,
+        }
+    }
+
+    /// E7 (extension): a mixed campaign — the paper's E3 register
+    /// injection *and* an E6-style memory injection run in the same
+    /// trials. The memory window opens after E3's single register
+    /// injection (trap call 100, ~step 3160) so both domains fire.
+    pub fn e7_mixed() -> Scenario {
+        Scenario {
+            name: "e7-mixed".into(),
+            script: MgmtScript::bring_up_and_run(u64::MAX / 2),
+            spec: Some(InjectionSpec::e3_nonroot_trap_medium()),
+            mem_spec: Some(
+                MemorySpec::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6())
+                    .with_rate(10)
+                    .with_window(3300, 4500),
+            ),
+            steps: 4500,
             rtos_heartbeat: true,
         }
     }
@@ -132,12 +185,16 @@ impl Scenario {
         if let Some(spec) = &self.spec {
             system.install_injector(spec.clone(), seed);
         }
+        if let Some(mem_spec) = &self.mem_spec {
+            system.install_mem_injector(mem_spec.clone(), seed.wrapping_add(MEM_SEED_OFFSET));
+        }
         system.run(self.steps);
         let report = classify(&system);
         TrialResult {
             seed,
             outcome: report.outcome,
             injection_count: report.injections.len(),
+            mem_injection_count: report.mem_injections.iter().filter(|r| r.applied()).count(),
             report,
         }
     }
@@ -150,8 +207,10 @@ pub struct TrialResult {
     pub seed: u64,
     /// The classified outcome.
     pub outcome: Outcome,
-    /// Number of injections that fired.
+    /// Number of register injections that fired.
     pub injection_count: usize,
+    /// Number of memory injections that were applied.
+    pub mem_injection_count: usize,
     /// The full classified report.
     pub report: RunReport,
 }
@@ -268,16 +327,47 @@ impl CampaignResult {
     pub fn injected_trials(&self) -> usize {
         self.trials.iter().filter(|t| t.injection_count > 0).count()
     }
+
+    /// Trials that had at least one memory injection applied.
+    pub fn mem_injected_trials(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| t.mem_injection_count > 0)
+            .count()
+    }
+
+    /// Per-region outcome distribution of a memory-fault campaign:
+    /// each trial's outcome is attributed to every region it applied
+    /// at least one memory fault in.
+    pub fn mem_region_distribution(&self) -> BTreeMap<(crate::MemRegionKind, Outcome), usize> {
+        let mut map = BTreeMap::new();
+        for trial in &self.trials {
+            let mut regions: Vec<crate::MemRegionKind> = trial
+                .report
+                .mem_injections
+                .iter()
+                .filter(|r| r.applied())
+                .flat_map(|r| r.faults.iter().map(|f| f.region))
+                .collect();
+            regions.sort_unstable();
+            regions.dedup();
+            for region in regions {
+                *map.entry((region, trial.outcome)).or_insert(0) += 1;
+            }
+        }
+        map
+    }
 }
 
 impl fmt::Display for CampaignResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "campaign {} ({} trials, {} injected)",
+            "campaign {} ({} trials, {} reg-injected, {} mem-injected)",
             self.scenario_name,
             self.trials.len(),
-            self.injected_trials()
+            self.injected_trials(),
+            self.mem_injected_trials()
         )?;
         for (outcome, count) in self.distribution() {
             writeln!(
@@ -338,5 +428,35 @@ mod tests {
         let result = campaign.run();
         let total: usize = result.distribution().values().sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn e6_campaign_applies_memory_faults_across_regions() {
+        let campaign = Campaign::new(
+            Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6()),
+            6,
+            0xE6,
+        );
+        let result = campaign.run_parallel(4);
+        assert!(result.mem_injected_trials() > 0, "no trial applied faults");
+        assert_eq!(result.injected_trials(), 0, "no register injector in E6");
+        let by_region = result.mem_region_distribution();
+        assert!(!by_region.is_empty());
+        let attributed: usize = by_region.values().sum();
+        assert!(attributed >= result.mem_injected_trials());
+    }
+
+    #[test]
+    fn mixed_campaign_runs_both_injectors() {
+        let campaign = Campaign::new(Scenario::e7_mixed(), 4, 0xE7);
+        let result = campaign.run();
+        assert!(result.injected_trials() > 0, "register injector silent");
+        assert!(result.mem_injected_trials() > 0, "memory injector silent");
+    }
+
+    #[test]
+    fn mixed_parallel_equals_sequential() {
+        let campaign = Campaign::new(Scenario::e7_mixed(), 4, 21);
+        assert_eq!(campaign.run(), campaign.run_parallel(4));
     }
 }

@@ -17,8 +17,20 @@
 //!   the whole system died in a kernel (or hypervisor) panic;
 //! * **CpuPark** — an unhandled trap (`0x24`) parked the affected CPU;
 //!   the fault stayed isolated in the injected cell (E3's third bar).
+//!
+//! The memory-fault subsystem adds two classes the register campaigns
+//! cannot produce:
+//!
+//! * **TranslationFaultStorm** — injected stage-2 descriptor
+//!   corruption made the victim's own memory fault under it, and the
+//!   hypervisor logged the resulting access-violation storm;
+//! * **SilentDataCorruption** — memory faults were applied but every
+//!   observation channel stayed green: the corruption is latent in
+//!   RAM (or the published comm state), undetected.
 
 use crate::injector::InjectionRecord;
+use crate::memfault::MemLocus;
+use crate::meminjector::MemInjectionRecord;
 use crate::system::System;
 use certify_arch::cpu::ParkReason;
 use certify_arch::CpuId;
@@ -27,7 +39,7 @@ use certify_hypervisor::{CellState, Guest, GuestHealth, HvEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The outcome classes of the paper.
+/// The outcome classes of the paper, plus the memory-fault extensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Outcome {
     /// Whole-system failure: the fault propagated (root kernel panic
@@ -36,23 +48,31 @@ pub enum Outcome {
     /// The cell is reported running but never executed — blank USART
     /// (E2's dangerous state).
     InconsistentState,
+    /// Injected stage-2 table corruption made the victim cell's own
+    /// accesses fault: the hypervisor saw an access-violation storm.
+    TranslationFaultStorm,
     /// The affected CPU was parked on an unhandled trap; the fault was
     /// isolated.
     CpuPark,
     /// A management operation was rejected with "invalid arguments";
     /// nothing was allocated.
     InvalidArguments,
+    /// Memory faults were applied but nothing detected them: the
+    /// corruption sits silently in RAM or the published cell state.
+    SilentDataCorruption,
     /// Expected behaviour throughout.
     Correct,
 }
 
 impl Outcome {
     /// All outcomes, in classification precedence order.
-    pub const ALL: [Outcome; 5] = [
+    pub const ALL: [Outcome; 7] = [
         Outcome::PanicPark,
         Outcome::InconsistentState,
+        Outcome::TranslationFaultStorm,
         Outcome::CpuPark,
         Outcome::InvalidArguments,
+        Outcome::SilentDataCorruption,
         Outcome::Correct,
     ];
 }
@@ -63,8 +83,10 @@ impl fmt::Display for Outcome {
             Outcome::Correct => "correct",
             Outcome::InvalidArguments => "invalid arguments",
             Outcome::InconsistentState => "inconsistent state",
+            Outcome::TranslationFaultStorm => "translation fault storm",
             Outcome::PanicPark => "panic park",
             Outcome::CpuPark => "cpu park",
+            Outcome::SilentDataCorruption => "silent data corruption",
         };
         f.write_str(name)
     }
@@ -75,8 +97,10 @@ impl fmt::Display for Outcome {
 pub struct RunReport {
     /// The classified outcome.
     pub outcome: Outcome,
-    /// Injections performed during the run.
+    /// Register injections performed during the run.
     pub injections: Vec<InjectionRecord>,
+    /// Memory-injection attempts (applied and skipped) during the run.
+    pub mem_injections: Vec<MemInjectionRecord>,
     /// Human-readable evidence notes.
     pub notes: Vec<String>,
     /// Final state of the non-root cell, if it exists.
@@ -113,6 +137,10 @@ pub fn classify(system: &System) -> RunReport {
         .injection_log()
         .map(|log| log.records())
         .unwrap_or_default();
+    let mem_injections = system
+        .mem_injection_log()
+        .map(|log| log.records())
+        .unwrap_or_default();
 
     let cell_state = system
         .rtos_cell()
@@ -126,6 +154,55 @@ pub fn classify(system: &System) -> RunReport {
     let watchdog_first_expiry = system.machine.wdt.first_expiry();
     let monitor_alarms = system.linux.monitor_alarms().len();
 
+    // Memory-fault evidence shared by several attributions below.
+    let applied_mem_faults: Vec<_> = mem_injections
+        .iter()
+        .filter(|r| r.applied())
+        .flat_map(|r| r.faults.iter())
+        .collect();
+    // Step of the first applied *live* stage-2 descriptor fault: only
+    // access violations at or after it can be attributed to injected
+    // table corruption.
+    let first_table_fault_step = mem_injections
+        .iter()
+        .filter(|r| r.applied())
+        .filter(|r| {
+            r.faults
+                .iter()
+                .any(|f| f.locus == MemLocus::Stage2Descriptor && f.live)
+        })
+        .map(|r| r.step)
+        .min();
+    let live_mem_corruption = applied_mem_faults.iter().any(|f| f.live);
+    let latent_mem_corruption = applied_mem_faults
+        .iter()
+        .any(|f| !f.live && f.before != f.after);
+    let skipped: Vec<&MemInjectionRecord> = mem_injections
+        .iter()
+        .filter(|r| r.skipped.is_some())
+        .collect();
+    if let Some(first) = skipped.first() {
+        notes.push(format!(
+            "{} memory injection(s) skipped (first: {})",
+            skipped.len(),
+            first.skipped.as_deref().unwrap_or_default()
+        ));
+    }
+
+    // Published comm-region state vs the hypervisor's belief — the
+    // channel a `jailhouse cell list` style tool would read.
+    let comm_state = system
+        .rtos_cell()
+        .and_then(|id| system.hv.cell(id))
+        .and_then(|cell| cell.comm_region())
+        .map(|region| region.read_state(&system.machine));
+    let comm_mismatch = match (comm_state, cell_state) {
+        (Some(published), Some(actual)) => published != Some(actual),
+        _ => false,
+    };
+
+    let outcome;
+
     // --- Panic park: whole-system failure ---------------------------
     let hyp_panic = system.hv.panicked().is_some();
     let linux_panic = system.linux.health() == GuestHealth::Panicked
@@ -136,30 +213,6 @@ pub fn classify(system: &System) -> RunReport {
         system.machine.cpu(CpuId(0)).park_reason(),
         Some(ParkReason::UnhandledTrap(_))
     );
-    if hyp_panic || linux_panic || root_parked_on_trap {
-        if hyp_panic {
-            notes.push(format!(
-                "hypervisor panic: {}",
-                system.hv.panicked().unwrap_or_default()
-            ));
-        }
-        if linux_panic {
-            notes.push("root cell kernel panic on serial log".into());
-        }
-        if root_parked_on_trap {
-            notes.push("root CPU parked on unhandled trap".into());
-        }
-        return RunReport {
-            outcome: Outcome::PanicPark,
-            injections,
-            notes,
-            cell_state,
-            cpu1_park,
-            serial_line_count,
-            watchdog_first_expiry,
-            monitor_alarms,
-        };
-    }
 
     // --- Inconsistent state: reported running, never executed -------
     let failed_online = system.hv.events().iter().any(|e| {
@@ -174,7 +227,47 @@ pub fn classify(system: &System) -> RunReport {
     });
     let broken_guest = system.rtos_broken_observed();
     let boot_rejected = system.boot_failures() > 0;
-    if failed_online || broken_guest || boot_rejected {
+
+    // --- CPU park / translation storm evidence ----------------------
+    let cpu1_unhandled = system.hv.events().iter().any(|e| {
+        matches!(
+            e,
+            HvEvent::CpuParked {
+                cpu: CpuId(1),
+                reason: ParkReason::UnhandledTrap(_),
+                ..
+            }
+        )
+    });
+    // Violations at or after the first live table fault — violations
+    // that predate it (or occur with no table fault at all) cannot
+    // have been caused by injected descriptor corruption.
+    let storm_violations = match first_table_fault_step {
+        Some(first) => system
+            .hv
+            .events()
+            .iter()
+            .filter(|e| matches!(e, HvEvent::AccessViolation { step, .. } if *step >= first))
+            .count(),
+        None => 0,
+    };
+
+    if hyp_panic || linux_panic || root_parked_on_trap {
+        outcome = Outcome::PanicPark;
+        if hyp_panic {
+            notes.push(format!(
+                "hypervisor panic: {}",
+                system.hv.panicked().unwrap_or_default()
+            ));
+        }
+        if linux_panic {
+            notes.push("root cell kernel panic on serial log".into());
+        }
+        if root_parked_on_trap {
+            notes.push("root CPU parked on unhandled trap".into());
+        }
+    } else if failed_online || broken_guest || boot_rejected {
+        outcome = Outcome::InconsistentState;
         if failed_online {
             notes.push("CPU 1 failed to come online (hot-plug swap)".into());
         }
@@ -194,30 +287,19 @@ pub fn classify(system: &System) -> RunReport {
         if cell_state == Some(CellState::Running) {
             notes.push("hypervisor still reports the cell running".into());
         }
-        return RunReport {
-            outcome: Outcome::InconsistentState,
-            injections,
-            notes,
-            cell_state,
-            cpu1_park,
-            serial_line_count,
-            watchdog_first_expiry,
-            monitor_alarms,
-        };
-    }
-
-    // --- CPU park: isolated unhandled trap ---------------------------
-    let cpu1_unhandled = system.hv.events().iter().any(|e| {
-        matches!(
-            e,
-            HvEvent::CpuParked {
-                cpu: CpuId(1),
-                reason: ParkReason::UnhandledTrap(_),
-                ..
-            }
-        )
-    });
-    if cpu1_unhandled {
+    } else if storm_violations > 0 {
+        // Injected stage-2 corruption made the victim's own accesses
+        // fault — attribute the violations to the table fault rather
+        // than to a generic CPU park.
+        outcome = Outcome::TranslationFaultStorm;
+        notes.push(format!(
+            "{storm_violations} access violation(s) after injected stage-2 descriptor corruption"
+        ));
+        if cpu1_unhandled {
+            notes.push("cpu1 parked on the resulting translation fault".into());
+        }
+    } else if cpu1_unhandled {
+        outcome = Outcome::CpuPark;
         if let Some(HvEvent::CpuParked { reason, .. }) = system.hv.events().iter().find(|e| {
             matches!(
                 e,
@@ -231,42 +313,43 @@ pub fn classify(system: &System) -> RunReport {
             notes.push(format!("cpu1 parked: {reason}"));
         }
         notes.push("fault isolated to the non-root cell".into());
-        return RunReport {
-            outcome: Outcome::CpuPark,
-            injections,
-            notes,
-            cell_state,
-            cpu1_park,
-            serial_line_count,
-            watchdog_first_expiry,
-            monitor_alarms,
-        };
-    }
-
-    // --- Invalid arguments: clean management rejection ---------------
-    let rejected_enable = system
+    } else if system
         .linux
         .records()
         .iter()
-        .any(|r| matches!(r.op, MgmtOp::Enable | MgmtOp::CreateCell) && r.result < 0);
-    if rejected_enable && !system.hv.is_enabled() {
+        .any(|r| matches!(r.op, MgmtOp::Enable | MgmtOp::CreateCell) && r.result < 0)
+        && !system.hv.is_enabled()
+    {
+        outcome = Outcome::InvalidArguments;
         notes.push("management operation rejected; hypervisor/cell not allocated".into());
-        return RunReport {
-            outcome: Outcome::InvalidArguments,
-            injections,
-            notes,
-            cell_state,
-            cpu1_park,
-            serial_line_count,
-            watchdog_first_expiry,
-            monitor_alarms,
-        };
+    } else if live_mem_corruption
+        || latent_mem_corruption
+        || (comm_mismatch && !mem_injections.is_empty())
+    {
+        // Every ordinary channel is green, yet injected corruption is
+        // sitting in memory (or in the published cell state) with
+        // nothing having detected it.
+        outcome = Outcome::SilentDataCorruption;
+        let applied = mem_injections.iter().filter(|r| r.applied()).count();
+        notes.push(format!(
+            "{applied} memory injection(s) applied with no detection"
+        ));
+        if comm_mismatch {
+            notes.push(format!(
+                "published comm-region state {:?} disagrees with hypervisor state {:?}",
+                comm_state.flatten(),
+                cell_state
+            ));
+        }
+    } else {
+        outcome = Outcome::Correct;
+        notes.push("system operated within expectations".into());
     }
 
-    notes.push("system operated within expectations".into());
     RunReport {
-        outcome: Outcome::Correct,
+        outcome,
         injections,
+        mem_injections,
         notes,
         cell_state,
         cpu1_park,
@@ -296,11 +379,78 @@ mod tests {
         assert_eq!(Outcome::PanicPark.to_string(), "panic park");
         assert_eq!(Outcome::CpuPark.to_string(), "cpu park");
         assert_eq!(Outcome::InvalidArguments.to_string(), "invalid arguments");
+        assert_eq!(
+            Outcome::SilentDataCorruption.to_string(),
+            "silent data corruption"
+        );
+        assert_eq!(
+            Outcome::TranslationFaultStorm.to_string(),
+            "translation fault storm"
+        );
     }
 
     #[test]
     fn precedence_order_is_stable() {
         assert_eq!(Outcome::ALL[0], Outcome::PanicPark);
-        assert_eq!(Outcome::ALL[4], Outcome::Correct);
+        assert_eq!(Outcome::ALL[6], Outcome::Correct);
+    }
+
+    #[test]
+    fn latent_memory_corruption_classifies_silent() {
+        use crate::memfault::{MemFaultModel, MemRegionKind, MemTarget};
+        use crate::spec::MemorySpec;
+        use certify_arch::CpuId;
+        use certify_hypervisor::HandlerKind;
+        // Bit flips into pristine root DRAM: nothing ever reads them,
+        // so every channel stays green — silent data corruption.
+        let mut system = System::new(MgmtScript::bring_up_and_run(1500));
+        let spec = MemorySpec::new(
+            MemFaultModel::SingleBitFlip,
+            MemTarget::only(MemRegionKind::Custom {
+                base: certify_board::memmap::ROOT_RAM_BASE + 0x2000_0000,
+                size: 0x0100_0000,
+            }),
+            [HandlerKind::IrqchipHandleIrq],
+            Some(CpuId(0)),
+        )
+        .with_rate(10);
+        system.install_mem_injector(spec, 3);
+        system.run(2500);
+        let report = classify(&system);
+        assert!(
+            !report.mem_injections.is_empty(),
+            "no memory injections fired"
+        );
+        assert_eq!(report.outcome, Outcome::SilentDataCorruption, "{report}");
+    }
+
+    #[test]
+    fn skipped_injections_are_noted_never_fatal() {
+        use crate::memfault::{MemFaultModel, MemRegionKind, MemTarget};
+        use crate::spec::MemorySpec;
+        use certify_arch::CpuId;
+        use certify_hypervisor::HandlerKind;
+        let mut system = System::new(MgmtScript::bring_up_and_run(1500));
+        let spec = MemorySpec::new(
+            MemFaultModel::SingleBitFlip,
+            MemTarget::only(MemRegionKind::Custom {
+                base: 0x1000_0000, // unmapped hole: every sample skips
+                size: 0x1000,
+            }),
+            [HandlerKind::IrqchipHandleIrq],
+            Some(CpuId(0)),
+        )
+        .with_rate(10);
+        system.install_mem_injector(spec, 4);
+        system.run(2500);
+        let report = classify(&system);
+        assert_eq!(report.outcome, Outcome::Correct, "{report}");
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("memory injection(s) skipped")),
+            "no skipped-injection note in {report}"
+        );
     }
 }

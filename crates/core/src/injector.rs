@@ -142,6 +142,11 @@ impl InjectionHook for Injector {
             }
         }
         self.filtered_calls += 1;
+        if let Some(window) = self.spec.window {
+            if !window.contains(ctx.step) {
+                return;
+            }
+        }
         match self.spec.time_trigger {
             // Ablation D1: fire at the first matching entry past each
             // period boundary.
@@ -287,6 +292,31 @@ mod tests {
         }
         let steps: Vec<u64> = log.records().iter().map(|r| r.step).collect();
         assert_eq!(steps, vec![30, 170, 390]);
+    }
+
+    #[test]
+    fn window_gates_firing_without_stopping_the_count() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium()
+            .with_rate(10)
+            .with_window(25, 60);
+        let mut injector = Injector::new(spec, 1);
+        let log = injector.log();
+        let mut regs = RegisterFile::new();
+        // One call per step: the rate-10 cadence would fire at calls
+        // 10..=100, but only steps 25..60 are armed.
+        for step in 0..100u64 {
+            let mut ctx = HookCtx {
+                handler: HandlerKind::ArchHandleTrap,
+                cpu: CpuId(1),
+                call_index: step + 1,
+                step,
+                regs: &mut regs,
+            };
+            injector.on_handler_entry(&mut ctx);
+        }
+        let steps: Vec<u64> = log.records().iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![29, 39, 49, 59]);
+        assert_eq!(injector.filtered_calls(), 100, "calls counted throughout");
     }
 
     #[test]

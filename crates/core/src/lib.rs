@@ -16,10 +16,16 @@
 //!   section (double bit, stuck-at, register replacement);
 //! * [`spec`] — injection specifications: target handlers, CPU filter,
 //!   occurrence rate ("once every given number of calls"), intensity
-//!   presets [`spec::Intensity::Medium`] / [`spec::Intensity::High`];
+//!   presets [`spec::Intensity::Medium`] / [`spec::Intensity::High`],
+//!   injection windows, and the memory-domain [`spec::MemorySpec`];
 //! * [`injector`] — the [`certify_hypervisor::InjectionHook`]
 //!   implementation that counts filtered handler calls and applies
 //!   faults on cadence, recording every injection;
+//! * [`memfault`] — the memory fault models (bit flips, stuck-at
+//!   words, page bursts, stage-2 descriptor corruption, comm-region
+//!   corruption) and the [`memfault::MemTarget`] address sampler;
+//! * [`meminjector`] — the step-driven memory injector firing those
+//!   models on the same cadence/window triggers;
 //! * [`system`] — the full testbed: board + hypervisor + root Linux
 //!   guest + FreeRTOS guest, orchestrated step by step;
 //! * [`classify`] — the outcome classifier producing the paper's
@@ -48,6 +54,8 @@ pub mod campaign;
 pub mod classify;
 pub mod fault;
 pub mod injector;
+pub mod memfault;
+pub mod meminjector;
 pub mod profiler;
 pub mod spec;
 pub mod system;
@@ -56,6 +64,8 @@ pub use campaign::{Campaign, CampaignResult, Scenario, TrialResult};
 pub use classify::{classify, Outcome, RunReport};
 pub use fault::{AppliedFault, FaultModel};
 pub use injector::{InjectionRecord, Injector};
+pub use memfault::{AppliedMemFault, MemFaultModel, MemFaultSkip, MemRegionKind, MemTarget};
+pub use meminjector::{MemInjectionLog, MemInjectionRecord, MemInjector};
 pub use profiler::{profile_golden_run, ProfileReport};
-pub use spec::{InjectionSpec, Intensity};
+pub use spec::{InjectionSpec, InjectionWindow, Intensity, MemorySpec};
 pub use system::System;

@@ -1,0 +1,364 @@
+//! The memory-fault injector: fires [`crate::memfault::MemFaultModel`]s
+//! on the same cadence/window triggers as the register [`crate::Injector`].
+//!
+//! The register injector corrupts the live register context from
+//! inside the handler hook; memory faults instead need the whole
+//! machine (RAM, the victim cell's stage-2 table, the comm region), so
+//! the memory injector is driven by the orchestrator once per
+//! simulator step: it watches the hypervisor's per-handler call
+//! counters for the spec's filtered call stream and applies one fault
+//! every `rate`-th call — exactly the "once every given number of
+//! calls to the target functions" trigger of the paper, retargeted at
+//! memory.
+
+use crate::memfault::AppliedMemFault;
+use crate::spec::MemorySpec;
+use certify_board::Machine;
+use certify_hypervisor::Hypervisor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// One memory-injection attempt: either the applied corruptions or
+/// the reason the attempt was skipped (skips never panic a worker).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemInjectionRecord {
+    /// Simulator step of the attempt.
+    pub step: u64,
+    /// The filtered-stream call count that triggered it.
+    pub filtered_call: u64,
+    /// The concrete corruptions applied (empty when skipped).
+    pub faults: Vec<AppliedMemFault>,
+    /// Why the attempt was skipped, if it was.
+    pub skipped: Option<String>,
+}
+
+impl MemInjectionRecord {
+    /// Whether the attempt actually corrupted something.
+    pub fn applied(&self) -> bool {
+        self.skipped.is_none() && !self.faults.is_empty()
+    }
+}
+
+impl fmt::Display for MemInjectionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] mem call#{}:", self.step, self.filtered_call)?;
+        if let Some(reason) = &self.skipped {
+            return write!(f, " skipped ({reason})");
+        }
+        for fault in &self.faults {
+            write!(f, " {fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared, cloneable view of a memory injector's record log.
+#[derive(Debug, Clone, Default)]
+pub struct MemInjectionLog {
+    inner: Arc<Mutex<Vec<MemInjectionRecord>>>,
+}
+
+impl MemInjectionLog {
+    /// Snapshot of all attempts so far.
+    pub fn records(&self) -> Vec<MemInjectionRecord> {
+        self.inner.lock().expect("mem injection log lock").clone()
+    }
+
+    /// Number of attempts so far (applied + skipped).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("mem injection log lock").len()
+    }
+
+    /// Whether no attempt has been made yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of attempts that actually corrupted something.
+    pub fn applied(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("mem injection log lock")
+            .iter()
+            .filter(|r| r.applied())
+            .count()
+    }
+
+    fn push(&self, record: MemInjectionRecord) {
+        self.inner
+            .lock()
+            .expect("mem injection log lock")
+            .push(record);
+    }
+}
+
+/// The memory-fault injector.
+#[derive(Debug)]
+pub struct MemInjector {
+    spec: MemorySpec,
+    rng: StdRng,
+    /// Next filtered-call threshold that fires an injection.
+    next_fire: u64,
+    injections_done: u64,
+    log: MemInjectionLog,
+}
+
+impl MemInjector {
+    /// Creates a memory injector for `spec`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.rate` is zero.
+    pub fn new(spec: MemorySpec, seed: u64) -> MemInjector {
+        assert!(spec.rate > 0, "memory injection rate must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phase = if spec.phase_jitter {
+            use rand::Rng;
+            rng.gen_range(0..spec.rate)
+        } else {
+            0
+        };
+        MemInjector {
+            next_fire: spec.rate - phase,
+            spec,
+            rng,
+            injections_done: 0,
+            log: MemInjectionLog::default(),
+        }
+    }
+
+    /// A shared handle to the injection log.
+    pub fn log(&self) -> MemInjectionLog {
+        self.log.clone()
+    }
+
+    /// The specification driving this injector.
+    pub fn spec(&self) -> &MemorySpec {
+        &self.spec
+    }
+
+    /// The spec's filtered call stream: calls to the target handlers
+    /// from the filtered CPU, as counted by the hypervisor.
+    fn filtered_calls(&self, machine: &Machine, hv: &Hypervisor) -> u64 {
+        let cpus: Vec<u32> = match self.spec.cpu_filter {
+            Some(cpu) => vec![cpu.0],
+            None => (0..machine.num_cpus() as u32).collect(),
+        };
+        self.spec
+            .targets
+            .iter()
+            .flat_map(|&handler| {
+                cpus.iter()
+                    .map(move |&c| hv.call_count(handler, certify_arch::CpuId(c)))
+            })
+            .sum()
+    }
+
+    /// Called by the orchestrator once per simulator step, after the
+    /// stack has advanced: fires (possibly several) pending memory
+    /// injections against the machine and hypervisor state.
+    pub fn on_step(&mut self, machine: &mut Machine, hv: &mut Hypervisor) {
+        let step = machine.now();
+        let total = self.filtered_calls(machine, hv);
+        while total >= self.next_fire {
+            let trigger = self.next_fire;
+            self.next_fire += self.spec.rate;
+            if let Some(max) = self.spec.max_injections {
+                if self.injections_done >= max {
+                    return;
+                }
+            }
+            if let Some(window) = self.spec.window {
+                if !window.contains(step) {
+                    continue;
+                }
+            }
+            let (region, addr) = self.spec.target.sample(&mut self.rng);
+            let record = match self
+                .spec
+                .model
+                .apply(region, addr, machine, hv, &mut self.rng)
+            {
+                Ok(faults) => {
+                    self.injections_done += 1;
+                    MemInjectionRecord {
+                        step,
+                        filtered_call: trigger,
+                        faults,
+                        skipped: None,
+                    }
+                }
+                // Satellite guard: unmapped addresses (or a missing
+                // victim cell) become a recorded skip, never a panic.
+                Err(skip) => MemInjectionRecord {
+                    step,
+                    filtered_call: trigger,
+                    faults: Vec::new(),
+                    skipped: Some(skip.to_string()),
+                },
+            };
+            self.log.push(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfault::{MemFaultModel, MemRegionKind, MemTarget};
+    use certify_arch::CpuId;
+    use certify_board::memmap;
+    use certify_hypervisor::{HandlerKind, SystemConfig};
+
+    fn bare() -> (Machine, Hypervisor) {
+        let mut machine = Machine::new_banana_pi();
+        machine.cpu_mut(CpuId(0)).power_on();
+        (machine, Hypervisor::new(SystemConfig::banana_pi_demo()))
+    }
+
+    /// Drives `n` info hypercalls from CPU 0 (each bumps the
+    /// `arch_handle_hvc` call counter).
+    fn pump_calls(machine: &mut Machine, hv: &mut Hypervisor, n: u64) {
+        for _ in 0..n {
+            let _ = hv.handle_hvc(
+                machine,
+                CpuId(0),
+                certify_hypervisor::hypercall::HVC_HYPERVISOR_GET_INFO,
+                0,
+                0,
+            );
+        }
+    }
+
+    fn spec_on_hvc(model: MemFaultModel, target: MemTarget) -> MemorySpec {
+        MemorySpec::new(model, target, [HandlerKind::ArchHandleHvc], Some(CpuId(0)))
+    }
+
+    #[test]
+    fn fires_every_rate_calls() {
+        let (mut machine, mut hv) = bare();
+        let spec = spec_on_hvc(
+            MemFaultModel::SingleBitFlip,
+            MemTarget::only(MemRegionKind::NonRootRam),
+        )
+        .with_rate(10);
+        let mut injector = MemInjector::new(spec, 1);
+        let log = injector.log();
+        pump_calls(&mut machine, &mut hv, 35);
+        injector.on_step(&mut machine, &mut hv);
+        assert_eq!(log.len(), 3, "calls 10, 20, 30");
+        assert_eq!(log.applied(), 3);
+        let records = log.records();
+        assert_eq!(records[0].filtered_call, 10);
+        assert_eq!(records[2].filtered_call, 30);
+    }
+
+    #[test]
+    fn cadence_survives_sparse_observation() {
+        // The injector only observes the counters once per step; a
+        // burst of calls between steps still yields one injection per
+        // rate crossing.
+        let (mut machine, mut hv) = bare();
+        let spec = spec_on_hvc(
+            MemFaultModel::SingleBitFlip,
+            MemTarget::only(MemRegionKind::Ivshmem),
+        )
+        .with_rate(5);
+        let mut injector = MemInjector::new(spec, 2);
+        pump_calls(&mut machine, &mut hv, 23);
+        injector.on_step(&mut machine, &mut hv);
+        assert_eq!(injector.log().len(), 4, "crossings at 5, 10, 15, 20");
+    }
+
+    #[test]
+    fn max_injections_caps_applied_faults() {
+        let (mut machine, mut hv) = bare();
+        let spec = spec_on_hvc(
+            MemFaultModel::stuck_at_zero(),
+            MemTarget::only(MemRegionKind::NonRootRam),
+        )
+        .with_rate(2)
+        .with_max_injections(3);
+        let mut injector = MemInjector::new(spec, 3);
+        pump_calls(&mut machine, &mut hv, 100);
+        injector.on_step(&mut machine, &mut hv);
+        assert_eq!(injector.log().applied(), 3);
+    }
+
+    #[test]
+    fn out_of_range_addresses_are_recorded_as_skips() {
+        let (mut machine, mut hv) = bare();
+        let spec = spec_on_hvc(
+            MemFaultModel::SingleBitFlip,
+            MemTarget::only(MemRegionKind::Custom {
+                base: 0x1000_0000, // unmapped hole below DRAM
+                size: 0x1000,
+            }),
+        )
+        .with_rate(1);
+        let mut injector = MemInjector::new(spec, 4);
+        pump_calls(&mut machine, &mut hv, 3);
+        injector.on_step(&mut machine, &mut hv);
+        let records = injector.log().records();
+        assert_eq!(records.len(), 3);
+        for record in &records {
+            assert!(!record.applied());
+            let reason = record.skipped.as_deref().unwrap();
+            assert!(reason.contains("outside RAM window"), "note: {reason}");
+            assert!(record.to_string().contains("skipped"));
+        }
+    }
+
+    #[test]
+    fn window_gates_firing() {
+        let (mut machine, mut hv) = bare();
+        // The machine is at step 0 and never advanced: a window that
+        // starts later never fires, whatever the call count.
+        let spec = spec_on_hvc(
+            MemFaultModel::SingleBitFlip,
+            MemTarget::only(MemRegionKind::NonRootRam),
+        )
+        .with_rate(1)
+        .with_window(100, 200);
+        let mut injector = MemInjector::new(spec, 5);
+        pump_calls(&mut machine, &mut hv, 10);
+        injector.on_step(&mut machine, &mut hv);
+        assert!(injector.log().is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_identical_seeds() {
+        let run = || {
+            let (mut machine, mut hv) = bare();
+            let spec = spec_on_hvc(MemFaultModel::DoubleBitFlip, MemTarget::e6()).with_rate(3);
+            let mut injector = MemInjector::new(spec, 1234);
+            pump_calls(&mut machine, &mut hv, 30);
+            injector.on_step(&mut machine, &mut hv);
+            injector.log().records()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn comm_region_faults_land_in_the_comm_page() {
+        let (mut machine, mut hv) = bare();
+        let spec = spec_on_hvc(
+            MemFaultModel::CommStateCorrupt,
+            MemTarget::only(MemRegionKind::CommRegion),
+        )
+        .with_rate(1);
+        let mut injector = MemInjector::new(spec, 6);
+        pump_calls(&mut machine, &mut hv, 1);
+        injector.on_step(&mut machine, &mut hv);
+        let records = injector.log().records();
+        assert_eq!(records[0].faults.len(), 1);
+        let fault = records[0].faults[0];
+        assert!(memmap::in_region(fault.addr, memmap::RTOS_RAM_BASE, 0x10));
+    }
+}

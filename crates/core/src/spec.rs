@@ -10,11 +10,47 @@
 //! and hard intensity, respectively."*
 
 use crate::fault::FaultModel;
+use crate::memfault::{MemFaultModel, MemTarget};
 use certify_arch::CpuId;
 use certify_hypervisor::HandlerKind;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// A half-open `[start, end)` step window an injector is armed in.
+/// Outside the window matching calls are counted but never fired on —
+/// the tool for campaigns that only attack e.g. the boot phase or
+/// steady state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InjectionWindow {
+    /// First step (inclusive) injections may fire.
+    pub start: u64,
+    /// First step (exclusive) injections stop firing.
+    pub end: u64,
+}
+
+impl InjectionWindow {
+    /// A window over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn new(start: u64, end: u64) -> InjectionWindow {
+        assert!(start < end, "injection window must be non-empty");
+        InjectionWindow { start, end }
+    }
+
+    /// Whether `step` falls inside the window.
+    pub fn contains(self, step: u64) -> bool {
+        step >= self.start && step < self.end
+    }
+}
+
+impl fmt::Display for InjectionWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
 
 /// The paper's two intensity presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -79,6 +115,8 @@ pub struct InjectionSpec {
     /// every `period` simulator steps. `None` = the paper's
     /// call-count trigger.
     pub time_trigger: Option<u64>,
+    /// Only fire inside this step window (`None` = the whole run).
+    pub window: Option<InjectionWindow>,
 }
 
 impl InjectionSpec {
@@ -105,6 +143,7 @@ impl InjectionSpec {
             max_injections: None,
             phase_jitter: false,
             time_trigger: None,
+            window: None,
         }
     }
 
@@ -199,6 +238,122 @@ impl InjectionSpec {
         self.max_injections = Some(max);
         self
     }
+
+    /// Restricts firing to the `[start, end)` step window, returning
+    /// the spec (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn with_window(mut self, start: u64, end: u64) -> InjectionSpec {
+        self.window = Some(InjectionWindow::new(start, end));
+        self
+    }
+}
+
+/// A memory-fault injection specification — the memory-domain sibling
+/// of [`InjectionSpec`]. The cadence triggers are shared: the injector
+/// counts calls to the target handlers (filtered by CPU) and fires a
+/// memory fault on every `rate`-th call, optionally only inside an
+/// [`InjectionWindow`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Handlers whose (filtered) call stream drives the cadence.
+    pub targets: BTreeSet<HandlerKind>,
+    /// Only count calls from this CPU (`None` = any CPU).
+    pub cpu_filter: Option<CpuId>,
+    /// Fire on every `rate`-th filtered call.
+    pub rate: u64,
+    /// The memory fault model to apply.
+    pub model: MemFaultModel,
+    /// The address-space sampler drawing the corruption target.
+    pub target: MemTarget,
+    /// Stop after this many applied injections (`None` = unbounded).
+    pub max_injections: Option<u64>,
+    /// Start the cadence at a seed-derived phase in `[0, rate)`.
+    pub phase_jitter: bool,
+    /// Only fire inside this step window (`None` = the whole run).
+    pub window: Option<InjectionWindow>,
+}
+
+impl MemorySpec {
+    /// A specification firing `model` at addresses drawn by `target`,
+    /// paced by the given handlers' call stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn new(
+        model: MemFaultModel,
+        target: MemTarget,
+        targets: impl IntoIterator<Item = HandlerKind>,
+        cpu_filter: Option<CpuId>,
+    ) -> MemorySpec {
+        let targets: BTreeSet<HandlerKind> = targets.into_iter().collect();
+        assert!(!targets.is_empty(), "memory spec needs at least one target");
+        MemorySpec {
+            targets,
+            cpu_filter,
+            rate: Intensity::High.rate(),
+            model,
+            target,
+            max_injections: None,
+            phase_jitter: false,
+            window: None,
+        }
+    }
+
+    /// E6: `model` against `target`, paced like E3 by the non-root
+    /// cell's trap/hypercall stream (CPU 1, once every 50 calls).
+    pub fn e6_memory(model: MemFaultModel, target: MemTarget) -> MemorySpec {
+        MemorySpec::new(
+            model,
+            target,
+            [HandlerKind::ArchHandleTrap, HandlerKind::ArchHandleHvc],
+            Some(CpuId(1)),
+        )
+    }
+
+    /// Whether a handler call matches the target/CPU filter.
+    pub fn matches(&self, handler: HandlerKind, cpu: CpuId) -> bool {
+        self.targets.contains(&handler) && self.cpu_filter.map(|f| f == cpu).unwrap_or(true)
+    }
+
+    /// Replaces the rate, returning the spec (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn with_rate(mut self, rate: u64) -> MemorySpec {
+        assert!(rate > 0, "rate must be non-zero");
+        self.rate = rate;
+        self
+    }
+
+    /// Enables per-seed cadence phase, returning the spec (builder
+    /// style).
+    pub fn with_phase_jitter(mut self) -> MemorySpec {
+        self.phase_jitter = true;
+        self
+    }
+
+    /// Caps the number of injections, returning the spec (builder
+    /// style).
+    pub fn with_max_injections(mut self, max: u64) -> MemorySpec {
+        self.max_injections = Some(max);
+        self
+    }
+
+    /// Restricts firing to the `[start, end)` step window, returning
+    /// the spec (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn with_window(mut self, start: u64, end: u64) -> MemorySpec {
+        self.window = Some(InjectionWindow::new(start, end));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -239,8 +394,43 @@ mod tests {
     fn builders_apply() {
         let spec = InjectionSpec::e3_nonroot_trap_medium()
             .with_rate(10)
-            .with_max_injections(2);
+            .with_max_injections(2)
+            .with_window(100, 900);
         assert_eq!(spec.rate, 10);
         assert_eq!(spec.max_injections, Some(2));
+        assert_eq!(spec.window, Some(InjectionWindow::new(100, 900)));
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let window = InjectionWindow::new(10, 20);
+        assert!(!window.contains(9));
+        assert!(window.contains(10));
+        assert!(window.contains(19));
+        assert!(!window.contains(20));
+        assert_eq!(window.to_string(), "[10, 20)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = InjectionWindow::new(5, 5);
+    }
+
+    #[test]
+    fn memory_spec_matches_like_the_register_spec() {
+        use crate::memfault::{MemFaultModel, MemTarget};
+        let spec = MemorySpec::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6());
+        assert!(spec.matches(HandlerKind::ArchHandleTrap, CpuId(1)));
+        assert!(!spec.matches(HandlerKind::ArchHandleTrap, CpuId(0)));
+        assert!(!spec.matches(HandlerKind::IrqchipHandleIrq, CpuId(1)));
+        assert_eq!(spec.rate, Intensity::High.rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_memory_targets_rejected() {
+        use crate::memfault::{MemFaultModel, MemTarget};
+        let _ = MemorySpec::new(MemFaultModel::SingleBitFlip, MemTarget::all(), [], None);
     }
 }

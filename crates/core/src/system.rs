@@ -11,7 +11,8 @@
 //! its own CPU.
 
 use crate::injector::{InjectionLog, Injector};
-use crate::spec::InjectionSpec;
+use crate::meminjector::{MemInjectionLog, MemInjector};
+use crate::spec::{InjectionSpec, MemorySpec};
 use certify_arch::CpuId;
 use certify_board::{memmap, Machine};
 use certify_guest_linux::{LinuxGuest, MgmtScript};
@@ -37,6 +38,8 @@ pub struct System {
     /// from the root's perspective (for blank-output analysis).
     cell_start_step: Option<u64>,
     injection_log: Option<InjectionLog>,
+    mem_injector: Option<MemInjector>,
+    mem_injection_log: Option<MemInjectionLog>,
     steps_run: u64,
     rtos_broken_observed: bool,
     boot_failures: u64,
@@ -84,6 +87,8 @@ impl System {
             rtos,
             cell_start_step: None,
             injection_log: None,
+            mem_injector: None,
+            mem_injection_log: None,
             steps_run: 0,
             rtos_broken_observed: false,
             boot_failures: 0,
@@ -103,6 +108,22 @@ impl System {
     /// The injection log, if an injector is installed.
     pub fn injection_log(&self) -> Option<&InjectionLog> {
         self.injection_log.as_ref()
+    }
+
+    /// Installs a memory-fault injector built from `spec`, seeded with
+    /// `seed`. Returns a live handle to the memory-injection log. Can
+    /// coexist with a register injector for mixed campaigns.
+    pub fn install_mem_injector(&mut self, spec: MemorySpec, seed: u64) -> MemInjectionLog {
+        let injector = MemInjector::new(spec, seed);
+        let log = injector.log();
+        self.mem_injection_log = Some(log.clone());
+        self.mem_injector = Some(injector);
+        log
+    }
+
+    /// The memory-injection log, if a memory injector is installed.
+    pub fn mem_injection_log(&self) -> Option<&MemInjectionLog> {
+        self.mem_injection_log.as_ref()
     }
 
     /// Steps run so far.
@@ -180,6 +201,13 @@ impl System {
         // Step the guests on their CPUs.
         self.step_guest(CpuId(0));
         self.step_guest(CpuId(1));
+
+        // Fire pending memory-fault injections against the advanced
+        // state (their corruption notices drain next step, like wild
+        // stores).
+        if let Some(injector) = self.mem_injector.as_mut() {
+            injector.on_step(&mut self.machine, &mut self.hv);
+        }
 
         if self.rtos.health() == certify_hypervisor::GuestHealth::Broken {
             self.rtos_broken_observed = true;
@@ -344,5 +372,32 @@ mod tests {
         let log = system.install_injector(InjectionSpec::e3_nonroot_trap_medium().with_rate(10), 7);
         system.run(3000);
         assert!(!log.is_empty(), "no injections fired");
+    }
+
+    #[test]
+    fn mem_injector_fires_during_a_run() {
+        use crate::memfault::{MemFaultModel, MemTarget};
+        let mut system = System::new(MgmtScript::bring_up_and_run(4000));
+        let log = system.install_mem_injector(
+            MemorySpec::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6()).with_rate(10),
+            7,
+        );
+        system.run(3000);
+        assert!(log.applied() > 0, "no memory injections applied");
+    }
+
+    #[test]
+    fn register_and_memory_injectors_coexist() {
+        use crate::memfault::{MemFaultModel, MemTarget};
+        let mut system = System::new(MgmtScript::bring_up_and_run(4000));
+        let reg_log =
+            system.install_injector(InjectionSpec::e3_nonroot_trap_medium().with_rate(25), 11);
+        let mem_log = system.install_mem_injector(
+            MemorySpec::e6_memory(MemFaultModel::stuck_at_zero(), MemTarget::e6()).with_rate(25),
+            12,
+        );
+        system.run(3000);
+        assert!(!reg_log.is_empty() || !mem_log.is_empty());
+        assert_eq!(system.steps_run(), 3000, "mixed run completed its budget");
     }
 }

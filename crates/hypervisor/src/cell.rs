@@ -113,6 +113,13 @@ impl Cell {
         &self.stage2
     }
 
+    /// Mutable access to the stage-2 table — the surface a memory-fault
+    /// campaign corrupts to model MMU-table faults. Regular hypervisor
+    /// operation never rewrites the table after [`Cell::new`].
+    pub fn stage2_mut(&mut self) -> &mut Stage2Table {
+        &mut self.stage2
+    }
+
     /// The cell's communication region, rooted at its first private
     /// executable RAM region (Jailhouse's convention).
     pub fn comm_region(&self) -> Option<crate::commregion::CommRegion> {

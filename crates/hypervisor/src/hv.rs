@@ -172,6 +172,33 @@ impl Hypervisor {
         std::mem::take(&mut self.corruption_notices)
     }
 
+    /// Registers an externally observed corruption of `cell`'s memory
+    /// (a memory-fault injection that hit live data). Delivered to the
+    /// guest model through the same [`Self::take_corruption_notices`]
+    /// channel as wild hypervisor stores.
+    pub fn notify_corruption(&mut self, cell: CellId) {
+        self.corruption_notices.push(cell);
+    }
+
+    /// The first live non-root cell, if any — the victim of the
+    /// non-root-targeting memory-fault campaigns.
+    pub fn first_nonroot_cell(&self) -> Option<CellId> {
+        self.cells
+            .iter()
+            .flatten()
+            .map(|c| c.id)
+            .find(|&id| id != ROOT_CELL)
+    }
+
+    /// Mutable access to a cell's stage-2 translation table (memory
+    /// fault injection into the MMU tables).
+    pub fn cell_stage2_mut(&mut self, id: CellId) -> Option<&mut certify_arch::Stage2Table> {
+        self.cells
+            .get_mut(id.0 as usize)
+            .and_then(|c| c.as_mut())
+            .map(|c| c.stage2_mut())
+    }
+
     // ------------------------------------------------------------------
     // Blob staging helpers (the root-cell driver side)
     // ------------------------------------------------------------------

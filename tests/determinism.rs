@@ -48,6 +48,34 @@ fn golden_campaign_is_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn memory_campaign_is_deterministic_across_worker_counts() {
+    use certify_core::memfault::{MemFaultModel, MemTarget};
+    assert_parallel_matches_sequential(&Campaign::new(
+        Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6()),
+        8,
+        0xE6,
+    ));
+}
+
+#[test]
+fn mixed_register_memory_campaign_is_deterministic_across_worker_counts() {
+    // A campaign with BOTH injectors armed must stay bit-identical
+    // between run() and run_parallel() for workers 1, 4 and
+    // available_parallelism (worker_counts() covers all three).
+    let campaign = Campaign::new(Scenario::e7_mixed(), 8, 2026);
+    assert_parallel_matches_sequential(&campaign);
+    let result = campaign.run();
+    assert!(
+        result.trials.iter().any(|t| t.injection_count > 0),
+        "mixed campaign fired no register injections"
+    );
+    assert!(
+        result.trials.iter().any(|t| t.mem_injection_count > 0),
+        "mixed campaign applied no memory injections"
+    );
+}
+
+#[test]
 fn parallel_run_with_more_workers_than_trials() {
     let campaign = Campaign::new(Scenario::e1_root_high(), 3, 1);
     assert_eq!(campaign.run(), campaign.run_parallel(64));

@@ -8,6 +8,7 @@ use certify_guest_linux::MgmtScript;
 use certify_hypervisor::hypercall as hc;
 use certify_hypervisor::{HandlerKind, Hypervisor, SystemConfig};
 use proptest::prelude::*;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -96,5 +97,91 @@ proptest! {
         let report = classify(&system);
         prop_assert_eq!(report.outcome, Outcome::Correct);
         prop_assert!(report.injections.is_empty());
+    }
+
+    /// Register single/double bit-flip models are self-inverse:
+    /// replaying the model with the same RNG state flips the same
+    /// bits, restoring every register.
+    #[test]
+    fn register_bit_flips_are_self_inverse(seed in 0u64..5000, double in any::<bool>(), fill in any::<u32>()) {
+        use certify_arch::{Reg, RegisterFile};
+        use certify_core::FaultModel;
+        let model = if double {
+            FaultModel::DoubleBitFlip { pool: Reg::ALL.to_vec() }
+        } else {
+            FaultModel::single_bit_flip()
+        };
+        let mut regs = RegisterFile::new();
+        for r in Reg::ALL {
+            regs.write(r, fill);
+        }
+        let pristine = regs.clone();
+        let first = model.apply(&mut regs, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert!(!first.is_empty());
+        prop_assert_ne!(&regs, &pristine, "flip changed nothing");
+        let second = model.apply(&mut regs, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert_eq!(regs, pristine, "second flip did not restore");
+        prop_assert_eq!(
+            first.iter().map(|f| (f.reg, f.bit)).collect::<Vec<_>>(),
+            second.iter().map(|f| (f.reg, f.bit)).collect::<Vec<_>>()
+        );
+    }
+
+    /// Memory single/double bit-flip models are self-inverse on the
+    /// corrupted word, for RAM words and stage-2 descriptors alike.
+    #[test]
+    fn memory_bit_flips_are_self_inverse(seed in 0u64..5000, double in any::<bool>(), fill in any::<u32>(), word_frac in 0.0f64..1.0) {
+        use certify_core::memfault::{MemFaultModel, MemRegionKind};
+        let model = if double {
+            MemFaultModel::DoubleBitFlip
+        } else {
+            MemFaultModel::SingleBitFlip
+        };
+        let mut machine = certify_board::Machine::new_banana_pi();
+        let mut hv = Hypervisor::new(SystemConfig::banana_pi_demo());
+        let (base, size) = MemRegionKind::NonRootRam.span();
+        let addr = base + 4 * ((f64::from(size / 4 - 1) * word_frac) as u32);
+        machine.ram_mut().write32(addr, fill).unwrap();
+
+        let first = model
+            .apply(MemRegionKind::NonRootRam, addr, &mut machine, &mut hv,
+                   &mut rand::rngs::StdRng::seed_from_u64(seed))
+            .unwrap();
+        prop_assert_ne!(machine.ram().read32(addr).unwrap(), fill);
+        let second = model
+            .apply(MemRegionKind::NonRootRam, addr, &mut machine, &mut hv,
+                   &mut rand::rngs::StdRng::seed_from_u64(seed))
+            .unwrap();
+        prop_assert_eq!(machine.ram().read32(addr).unwrap(), fill, "second flip did not restore");
+        prop_assert_eq!(first[0].after, second[0].before);
+        prop_assert_eq!(first[0].before, second[0].after);
+    }
+
+    /// Memory injection never panics a run, whatever the sampled
+    /// region — including windows deliberately covering unmapped
+    /// space (those record skips instead).
+    #[test]
+    fn memory_injection_never_wedges(seed in 0u64..500, rate in 5u64..60, hole in any::<bool>()) {
+        use certify_core::memfault::{MemFaultModel, MemRegionKind, MemTarget};
+        use certify_core::MemorySpec;
+        let target = if hole {
+            MemTarget::new([
+                MemRegionKind::NonRootRam,
+                MemRegionKind::Custom { base: 0x1000_0000, size: 0x1000 },
+            ])
+        } else {
+            MemTarget::all()
+        };
+        let spec = MemorySpec::new(
+            MemFaultModel::SingleBitFlip,
+            target,
+            [HandlerKind::ArchHandleTrap, HandlerKind::ArchHandleHvc],
+            None,
+        ).with_rate(rate);
+        let mut system = System::new(MgmtScript::bring_up_and_run(800));
+        system.install_mem_injector(spec, seed);
+        system.run(1500);
+        prop_assert_eq!(system.steps_run(), 1500);
+        let _ = classify(&system);
     }
 }
