@@ -6,7 +6,20 @@
 //! "USART output left completely blank" predicate of experiment E2.
 
 use crate::logparse::{LogEvent, LogSource};
+use certify_core::{CampaignStats, Outcome};
 use serde::{Deserialize, Serialize};
+
+/// Campaign-level availability from online statistics: the share of
+/// trials whose outcome left the non-root cell observably available —
+/// *correct* runs and *silent data corruption* (every observation
+/// channel stayed green, so the cell was still producing output; the
+/// corruption is latent). Panic park, CPU park, the inconsistent
+/// state, translation storms and rejected bring-ups all count as
+/// unavailable. Composes with the streamed engine: no per-trial
+/// reports needed.
+pub fn campaign_availability(stats: &CampaignStats) -> f64 {
+    stats.fraction(Outcome::Correct) + stats.fraction(Outcome::SilentDataCorruption)
+}
 
 /// Windowed availability of one log source.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -154,5 +167,18 @@ mod tests {
     #[should_panic(expected = "window must be non-zero")]
     fn zero_window_rejected() {
         let _ = AvailabilityReport::compute(&[], LogSource::Rtos, 0, 10, 0);
+    }
+
+    #[test]
+    fn campaign_availability_counts_green_channel_outcomes() {
+        use certify_core::campaign::{Campaign, Scenario};
+        use certify_core::NullSink;
+        // E1 rejects every bring-up: the cell never exists, so the
+        // campaign-level availability is zero.
+        let stats = Campaign::new(Scenario::e1_root_high(), 3, 1).run_streamed(&mut NullSink);
+        assert_eq!(campaign_availability(&stats), 0.0);
+        // A golden campaign is fully available.
+        let stats = Campaign::new(Scenario::golden(800), 2, 1).run_streamed(&mut NullSink);
+        assert_eq!(campaign_availability(&stats), 1.0);
     }
 }

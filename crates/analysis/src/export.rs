@@ -1,10 +1,22 @@
-//! CSV export of campaign results.
+//! CSV export of campaign results — buffered or row-streaming.
 //!
 //! Every campaign can be dumped to a flat per-trial CSV for external
-//! analysis (spreadsheets, R, pandas). Fields are quoted only when
-//! needed; the writer is deliberately dependency-free.
+//! analysis (spreadsheets, R, pandas). The writer is deliberately
+//! dependency-free, and it streams: [`CsvSink`] implements
+//! [`TrialSink`], emitting each trial's row the moment the campaign
+//! engine delivers it and dropping the report — a million-trial
+//! campaign exports in O(workers) resident reports. The buffered
+//! [`campaign_to_csv`] renders the same bytes from an in-memory
+//! [`CampaignResult`] through the identical row writer.
 
-use certify_core::campaign::CampaignResult;
+use certify_core::campaign::{CampaignResult, TrialResult};
+use certify_core::TrialSink;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// The CSV header row (with trailing newline) shared by the buffered
+/// and streaming writers.
+pub const CSV_HEADER: &str = "seed,outcome,injections,mem_injections,cell_state,cpu1_park,serial_lines,watchdog_expiry,monitor_alarms,applied_faults,notes\n";
 
 /// Escapes one CSV field (RFC-4180 quoting).
 fn field(value: &str) -> String {
@@ -15,60 +27,139 @@ fn field(value: &str) -> String {
     }
 }
 
-/// Renders a campaign as per-trial CSV rows.
+/// Appends one trial's CSV row (including the trailing newline) to
+/// `out`.
 ///
 /// Columns: `seed,outcome,injections,mem_injections,cell_state,
 /// cpu1_park,serial_lines,watchdog_expiry,monitor_alarms,
 /// applied_faults,notes`. The `applied_faults` column renders every
 /// register and memory fault of the trial through its `Display` impl,
 /// joined with `"; "`.
-pub fn campaign_to_csv(result: &CampaignResult) -> String {
-    let mut out = String::from(
-        "seed,outcome,injections,mem_injections,cell_state,cpu1_park,serial_lines,watchdog_expiry,monitor_alarms,applied_faults,notes\n",
+pub fn trial_to_csv_row(trial: &TrialResult, out: &mut String) {
+    let cell_state = trial
+        .report
+        .cell_state
+        .map(|s| s.to_string())
+        .unwrap_or_default();
+    let cpu1_park = trial.report.cpu1_park.clone().unwrap_or_default();
+    let watchdog = trial
+        .report
+        .watchdog_first_expiry
+        .map(|s| s.to_string())
+        .unwrap_or_default();
+    let applied_faults = trial
+        .report
+        .injections
+        .iter()
+        .flat_map(|r| r.faults.iter().map(|f| f.to_string()))
+        .chain(
+            trial
+                .report
+                .mem_injections
+                .iter()
+                .flat_map(|r| r.faults.iter().map(|f| f.to_string())),
+        )
+        .collect::<Vec<String>>()
+        .join("; ");
+    let notes = trial.report.notes.join("; ");
+    let _ = writeln!(
+        out,
+        "{},{},{},{},{},{},{},{},{},{},{}",
+        trial.seed,
+        field(&trial.outcome.to_string()),
+        trial.injection_count,
+        trial.mem_injection_count,
+        field(&cell_state),
+        field(&cpu1_park),
+        trial.report.serial_line_count,
+        watchdog,
+        trial.report.monitor_alarms,
+        field(&applied_faults),
+        field(&notes),
     );
+}
+
+/// Renders a buffered campaign as per-trial CSV rows (header
+/// included). Byte-identical to streaming the same trials through a
+/// [`CsvSink`].
+pub fn campaign_to_csv(result: &CampaignResult) -> String {
+    let mut out = String::from(CSV_HEADER);
     for trial in &result.trials {
-        let cell_state = trial
-            .report
-            .cell_state
-            .map(|s| s.to_string())
-            .unwrap_or_default();
-        let cpu1_park = trial.report.cpu1_park.clone().unwrap_or_default();
-        let watchdog = trial
-            .report
-            .watchdog_first_expiry
-            .map(|s| s.to_string())
-            .unwrap_or_default();
-        let applied_faults = trial
-            .report
-            .injections
-            .iter()
-            .flat_map(|r| r.faults.iter().map(|f| f.to_string()))
-            .chain(
-                trial
-                    .report
-                    .mem_injections
-                    .iter()
-                    .flat_map(|r| r.faults.iter().map(|f| f.to_string())),
-            )
-            .collect::<Vec<String>>()
-            .join("; ");
-        let notes = trial.report.notes.join("; ");
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{}\n",
-            trial.seed,
-            field(&trial.outcome.to_string()),
-            trial.injection_count,
-            trial.mem_injection_count,
-            field(&cell_state),
-            field(&cpu1_park),
-            trial.report.serial_line_count,
-            watchdog,
-            trial.report.monitor_alarms,
-            field(&applied_faults),
-            field(&notes),
-        ));
+        trial_to_csv_row(trial, &mut out);
     }
     out
+}
+
+/// A row-streaming CSV writer: a [`TrialSink`] that writes each
+/// trial's row on delivery and drops the report, keeping campaign
+/// exports bounded-memory.
+///
+/// I/O errors don't panic the campaign: the first error is latched,
+/// further rows are skipped, and [`CsvSink::finish`] surfaces it.
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    out: W,
+    /// Row scratch buffer, reused across every trial of the campaign.
+    row: String,
+    rows: usize,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps `out`, writing the header row immediately.
+    pub fn new(mut out: W) -> io::Result<CsvSink<W>> {
+        out.write_all(CSV_HEADER.as_bytes())?;
+        Ok(CsvSink {
+            out,
+            row: String::new(),
+            rows: 0,
+            error: None,
+        })
+    }
+
+    /// Data rows accepted so far (not counting the header).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Flushes and returns the underlying writer, or the first I/O
+    /// error hit while streaming.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl CsvSink<Vec<u8>> {
+    /// An in-memory sink (header already written).
+    pub fn in_memory() -> CsvSink<Vec<u8>> {
+        CsvSink::new(Vec::new()).expect("writing to a Vec cannot fail")
+    }
+
+    /// The accumulated CSV text of an in-memory sink.
+    pub fn into_csv(self) -> String {
+        let bytes = self.finish().expect("writing to a Vec cannot fail");
+        String::from_utf8(bytes).expect("CSV rows are UTF-8")
+    }
+}
+
+impl<W: Write> TrialSink for CsvSink<W> {
+    fn accept(&mut self, _seq: usize, trial: TrialResult) {
+        if self.error.is_some() {
+            return;
+        }
+        self.row.clear();
+        trial_to_csv_row(&trial, &mut self.row);
+        match self.out.write_all(self.row.as_bytes()) {
+            Ok(()) => self.rows += 1,
+            Err(error) => self.error = Some(error),
+        }
+        // `trial` (and its full RunReport) drops here: the sink keeps
+        // only the scratch row buffer.
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +174,44 @@ mod tests {
         assert_eq!(csv.lines().count(), 4);
         assert!(csv.starts_with("seed,outcome"));
         assert!(csv.contains("invalid arguments"));
+    }
+
+    #[test]
+    fn streamed_csv_is_byte_identical_to_buffered() {
+        let campaign = Campaign::new(Scenario::e1_root_high(), 4, 11);
+        let buffered = campaign_to_csv(&campaign.run());
+        let mut sink = CsvSink::in_memory();
+        campaign.run_parallel_streamed(4, &mut sink);
+        assert_eq!(sink.rows(), 4);
+        assert_eq!(sink.into_csv(), buffered);
+    }
+
+    #[test]
+    fn sink_latches_io_errors_instead_of_panicking() {
+        /// Fails every write after the header.
+        struct FailAfterHeader {
+            wrote_header: bool,
+        }
+        impl Write for FailAfterHeader {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.wrote_header {
+                    Err(io::Error::other("disk full"))
+                } else {
+                    self.wrote_header = true;
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = CsvSink::new(FailAfterHeader {
+            wrote_header: false,
+        })
+        .unwrap();
+        Campaign::new(Scenario::golden(800), 2, 5).run_streamed(&mut sink);
+        assert_eq!(sink.rows(), 0);
+        assert!(sink.finish().is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! bar chart, and CSV.
 
 use certify_core::campaign::CampaignResult;
-use certify_core::Outcome;
+use certify_core::{CampaignStats, Outcome};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -32,11 +32,13 @@ pub struct Figure3 {
 }
 
 impl Figure3 {
-    /// Builds the figure data from a campaign result.
-    pub fn from_campaign(result: &CampaignResult) -> Figure3 {
+    /// Builds the figure data from online campaign statistics — no
+    /// per-trial reports needed, so it composes with the streamed
+    /// engine (`Campaign::run_parallel_streamed`).
+    pub fn from_stats(stats: &CampaignStats) -> Figure3 {
         let mut rows = Vec::new();
         for outcome in Outcome::ALL {
-            let measured = result.fraction(outcome);
+            let measured = stats.fraction(outcome);
             let paper = PAPER_FIG3_SHARES
                 .iter()
                 .find(|(o, _)| *o == outcome)
@@ -46,10 +48,15 @@ impl Figure3 {
             }
         }
         Figure3 {
-            scenario: result.scenario_name.clone(),
-            trials: result.trials.len(),
+            scenario: stats.scenario_name.clone(),
+            trials: stats.trials,
             rows,
         }
+    }
+
+    /// Builds the figure data from a buffered campaign result.
+    pub fn from_campaign(result: &CampaignResult) -> Figure3 {
+        Figure3::from_stats(&result.stats())
     }
 
     /// Renders an ASCII bar chart (one `#` per 2 %).
@@ -148,6 +155,19 @@ mod tests {
             scenario_name: "fake".into(),
             trials,
         }
+    }
+
+    #[test]
+    fn stats_and_campaign_paths_agree() {
+        let result = fake_result(&[
+            (Outcome::Correct, 13),
+            (Outcome::PanicPark, 6),
+            (Outcome::CpuPark, 1),
+        ]);
+        assert_eq!(
+            Figure3::from_campaign(&result),
+            Figure3::from_stats(&result.stats())
+        );
     }
 
     #[test]

@@ -7,12 +7,17 @@
 //! * [`logparse`] — a structured parser for the serial log (Linux
 //!   dmesg lines, hypervisor park/panic banners, RTOS heartbeats);
 //! * [`availability`] — windowed liveness metrics over the parsed log
-//!   (output rate, gap detection, the "USART completely blank" test);
+//!   (output rate, gap detection, the "USART completely blank" test)
+//!   plus campaign-level availability from online stats;
+//! * [`export`] — per-trial CSV, buffered ([`campaign_to_csv`]) or
+//!   row-streaming ([`CsvSink`], a `TrialSink` that drops each report
+//!   after writing its row);
 //! * [`figure`] — Figure 3 regeneration: outcome distributions as
 //!   aligned tables, ASCII bar charts and CSV, with the paper's
-//!   reported shares next to the measured ones;
+//!   reported shares next to the measured ones, built from
+//!   `CampaignStats`;
 //! * [`report`] — per-experiment textual reports combining all of the
-//!   above.
+//!   above, built from `CampaignStats`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,8 +29,8 @@ pub mod logparse;
 pub mod report;
 pub mod timeline;
 
-pub use availability::AvailabilityReport;
-pub use export::campaign_to_csv;
+pub use availability::{campaign_availability, AvailabilityReport};
+pub use export::{campaign_to_csv, trial_to_csv_row, CsvSink, CSV_HEADER};
 pub use figure::{Figure3, PAPER_FIG3_SHARES};
 pub use logparse::{parse_line, parse_log, LogEvent, LogSource};
 pub use report::ExperimentReport;

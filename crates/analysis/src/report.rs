@@ -6,9 +6,8 @@
 //! claim holds.
 
 use crate::figure::Figure3;
-use certify_core::campaign::CampaignResult;
 use certify_core::profiler::ProfileReport;
-use certify_core::Outcome;
+use certify_core::{CampaignStats, Outcome};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -30,14 +29,15 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// E1: high-intensity root-context injections always produce a
     /// clean "invalid arguments" rejection and no allocation.
-    pub fn e1(result: &CampaignResult) -> ExperimentReport {
-        let total = result.trials.len();
-        let rejected = result
-            .trials
-            .iter()
-            .filter(|t| t.outcome == Outcome::InvalidArguments)
-            .count();
-        let injected = result.injected_trials();
+    ///
+    /// All constructors take the online [`CampaignStats`] a streamed
+    /// run returns (for a buffered run, use
+    /// `CampaignResult::stats()`), so report generation never needs
+    /// the per-trial reports resident.
+    pub fn e1(stats: &CampaignStats) -> ExperimentReport {
+        let total = stats.trials;
+        let rejected = stats.count(Outcome::InvalidArguments);
+        let injected = stats.injected_trials;
         ExperimentReport {
             id: "E1".into(),
             title: "High intensity, root-cell context".into(),
@@ -54,18 +54,10 @@ impl ExperimentReport {
 
     /// E2: high-intensity CPU-1 injections across the cell-boot window
     /// leave the cell allocated-but-dead while reported running.
-    pub fn e2(boot_window: &CampaignResult, full: &CampaignResult) -> ExperimentReport {
-        let bw_total = boot_window.trials.len();
-        let bw_inconsistent = boot_window
-            .trials
-            .iter()
-            .filter(|t| t.outcome == Outcome::InconsistentState)
-            .count();
-        let full_inconsistent = full
-            .trials
-            .iter()
-            .filter(|t| t.outcome == Outcome::InconsistentState)
-            .count();
+    pub fn e2(boot_window: &CampaignStats, full: &CampaignStats) -> ExperimentReport {
+        let bw_total = boot_window.trials;
+        let bw_inconsistent = boot_window.count(Outcome::InconsistentState);
+        let full_inconsistent = full.count(Outcome::InconsistentState);
         ExperimentReport {
             id: "E2".into(),
             title: "High intensity, non-root (CPU 1) context".into(),
@@ -77,7 +69,7 @@ impl ExperimentReport {
                 "boot-window aligned: {bw_inconsistent}/{bw_total} trials inconsistent; \
                  free-running campaign: {full_inconsistent}/{} trials inconsistent \
                  (remainder isolated CPU parks)",
-                full.trials.len()
+                full.trials
             ),
             reproduced: bw_total > 0 && bw_inconsistent == bw_total && full_inconsistent > 0,
         }
@@ -85,8 +77,8 @@ impl ExperimentReport {
 
     /// E3 (Figure 3): medium-intensity trap injections — correct
     /// majority, ~30 % panic park, limited CPU park.
-    pub fn e3(result: &CampaignResult) -> ExperimentReport {
-        let figure = Figure3::from_campaign(result);
+    pub fn e3(stats: &CampaignStats) -> ExperimentReport {
+        let figure = Figure3::from_stats(stats);
         let measured = figure
             .rows
             .iter()
@@ -125,26 +117,11 @@ impl ExperimentReport {
     }
 
     /// E5a (extension): the armed hardware watchdog detects panic-park
-    /// outcomes. `result` must come from the watchdog scenario.
-    pub fn e5a(result: &CampaignResult) -> ExperimentReport {
-        let panic_trials: Vec<_> = result
-            .trials
-            .iter()
-            .filter(|t| t.outcome == Outcome::PanicPark)
-            .collect();
-        let detected = panic_trials
-            .iter()
-            .filter(|t| t.report.watchdog_first_expiry.is_some())
-            .count();
-        let latencies: Vec<u64> = panic_trials
-            .iter()
-            .filter_map(|t| t.report.watchdog_first_expiry)
-            .collect();
-        let mean_latency = if latencies.is_empty() {
-            0
-        } else {
-            latencies.iter().sum::<u64>() / latencies.len() as u64
-        };
+    /// outcomes. `stats` must come from the watchdog scenario.
+    pub fn e5a(stats: &CampaignStats) -> ExperimentReport {
+        let panic_trials = stats.count(Outcome::PanicPark);
+        let detected = stats.watchdog_detected;
+        let mean_latency = stats.watchdog_mean_latency();
         ExperimentReport {
             id: "E5a".into(),
             title: "Extension: watchdog detection of panic park".into(),
@@ -152,27 +129,19 @@ impl ExperimentReport {
                           malfunction (paper outlook)"
                 .into(),
             measured: format!(
-                "{detected}/{} panic-park trials detected by the armed watchdog \
-                 (mean first expiry at step {mean_latency})",
-                panic_trials.len()
+                "{detected}/{panic_trials} panic-park trials detected by the armed \
+                 watchdog (mean first expiry at step {mean_latency})"
             ),
-            reproduced: !panic_trials.is_empty() && detected == panic_trials.len(),
+            reproduced: panic_trials > 0 && detected == panic_trials,
         }
     }
 
     /// E5b (extension): the heartbeat safety monitor detects the E2
-    /// inconsistent state. `result` must come from the monitor
+    /// inconsistent state. `stats` must come from the monitor
     /// scenario.
-    pub fn e5b(result: &CampaignResult) -> ExperimentReport {
-        let inconsistent: Vec<_> = result
-            .trials
-            .iter()
-            .filter(|t| t.outcome == Outcome::InconsistentState)
-            .collect();
-        let detected = inconsistent
-            .iter()
-            .filter(|t| t.report.monitor_alarms > 0)
-            .count();
+    pub fn e5b(stats: &CampaignStats) -> ExperimentReport {
+        let inconsistent = stats.count(Outcome::InconsistentState);
+        let detected = stats.monitor_detected;
         ExperimentReport {
             id: "E5b".into(),
             title: "Extension: heartbeat monitor detection of the inconsistent state".into(),
@@ -181,10 +150,9 @@ impl ExperimentReport {
                           asks for detection mechanisms"
                 .into(),
             measured: format!(
-                "{detected}/{} inconsistent-state trials raised a heartbeat alarm",
-                inconsistent.len()
+                "{detected}/{inconsistent} inconsistent-state trials raised a heartbeat alarm"
             ),
-            reproduced: !inconsistent.is_empty() && detected == inconsistent.len(),
+            reproduced: inconsistent > 0 && detected == inconsistent,
         }
     }
 
@@ -210,10 +178,10 @@ impl fmt::Display for ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use certify_core::campaign::TrialResult;
+    use certify_core::campaign::{CampaignResult, TrialResult};
     use certify_core::classify::RunReport;
 
-    fn fake(outcomes: &[(Outcome, usize)], injected: bool) -> CampaignResult {
+    fn fake(outcomes: &[(Outcome, usize)], injected: bool) -> CampaignStats {
         let mut trials = Vec::new();
         for (outcome, count) in outcomes {
             for i in 0..*count {
@@ -240,6 +208,7 @@ mod tests {
             scenario_name: "fake".into(),
             trials,
         }
+        .stats()
     }
 
     #[test]

@@ -138,17 +138,18 @@ fn main() {
     a4_irqchip_inclusion();
 
     let mut criterion = Criterion::default().configure_from_args().sample_size(10);
-    let scenario = scenario_with_spec(
+    let runner = scenario_with_spec(
         "bench-register-random",
         InjectionSpec::e3_nonroot_trap_medium().with_model(FaultModel::RegisterRandom {
             pool: Reg::ALL.to_vec(),
         }),
-    );
+    )
+    .runner();
     criterion.bench_function("ablation_trial_register_random", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(scenario.run_trial(seed))
+            black_box(runner.run_trial(seed))
         });
     });
     criterion.final_summary();

@@ -8,13 +8,13 @@
 //! Regenerate with `cargo bench -p certify_bench --bench e1_root_high`.
 
 use certify_analysis::ExperimentReport;
-use certify_bench::{banner, run_and_print, DETERMINISTIC_TRIALS};
+use certify_bench::{banner, run_and_print_streamed, DETERMINISTIC_TRIALS};
 use certify_core::campaign::Scenario;
 use criterion::{black_box, Criterion};
 
 fn regenerate() {
     banner("E1: high intensity, root-cell context (enable attempt)");
-    let result = run_and_print(Scenario::e1_root_high(), DETERMINISTIC_TRIALS);
+    let result = run_and_print_streamed(Scenario::e1_root_high(), DETERMINISTIC_TRIALS);
     let report = ExperimentReport::e1(&result);
     println!("{report}");
     assert!(report.reproduced, "E1 shape did not reproduce:\n{report}");
@@ -23,12 +23,12 @@ fn regenerate() {
 fn main() {
     regenerate();
     let mut criterion = Criterion::default().configure_from_args().sample_size(20);
-    let scenario = Scenario::e1_root_high();
+    let runner = Scenario::e1_root_high().runner();
     criterion.bench_function("e1_single_trial", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(scenario.run_trial(seed))
+            black_box(runner.run_trial(seed))
         });
     });
     criterion.final_summary();

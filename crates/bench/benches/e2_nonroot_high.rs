@@ -14,17 +14,17 @@
 //! Regenerate with `cargo bench -p certify_bench --bench e2_nonroot_high`.
 
 use certify_analysis::ExperimentReport;
-use certify_bench::{banner, run_and_print, BASE_SEED, DETERMINISTIC_TRIALS};
+use certify_bench::{banner, run_and_print_streamed, BASE_SEED, DETERMINISTIC_TRIALS};
 use certify_core::campaign::Scenario;
 use certify_core::Outcome;
 use criterion::{black_box, Criterion};
 
 fn regenerate() {
     banner("E2a: boot-window aligned (deterministic)");
-    let boot_window = run_and_print(Scenario::e2_boot_window(), DETERMINISTIC_TRIALS);
+    let boot_window = run_and_print_streamed(Scenario::e2_boot_window(), DETERMINISTIC_TRIALS);
 
     banner("E2b: free-running lifecycle cycling");
-    let full = run_and_print(Scenario::e2_nonroot_high(), 80);
+    let full = run_and_print_streamed(Scenario::e2_nonroot_high(), 80);
 
     // The paper's three supporting observations, checked on one
     // boot-window trial:
@@ -44,12 +44,12 @@ fn regenerate() {
 fn main() {
     regenerate();
     let mut criterion = Criterion::default().configure_from_args().sample_size(10);
-    let scenario = Scenario::e2_boot_window();
+    let runner = Scenario::e2_boot_window().runner();
     criterion.bench_function("e2_boot_window_trial", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(scenario.run_trial(seed))
+            black_box(runner.run_trial(seed))
         });
     });
     criterion.final_summary();

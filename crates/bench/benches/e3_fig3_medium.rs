@@ -10,19 +10,19 @@
 //! Regenerate with `cargo bench -p certify_bench --bench e3_fig3_medium`.
 
 use certify_analysis::{ExperimentReport, Figure3};
-use certify_bench::{banner, run_and_print, DISTRIBUTION_TRIALS};
+use certify_bench::{banner, run_and_print_streamed, DISTRIBUTION_TRIALS};
 use certify_core::campaign::Scenario;
 use criterion::{black_box, Criterion};
 
 fn regenerate() {
     banner("E3: Figure 3 — medium intensity on non-root arch_handle_trap");
-    let result = run_and_print(Scenario::e3_fig3(), DISTRIBUTION_TRIALS);
+    let stats = run_and_print_streamed(Scenario::e3_fig3(), DISTRIBUTION_TRIALS);
 
-    let figure = Figure3::from_campaign(&result);
+    let figure = Figure3::from_stats(&stats);
     println!("{}", figure.render_chart());
     println!("CSV:\n{}", figure.render_csv());
 
-    let report = ExperimentReport::e3(&result);
+    let report = ExperimentReport::e3(&stats);
     println!("{report}");
     assert!(
         report.reproduced,
@@ -33,12 +33,12 @@ fn regenerate() {
 fn main() {
     regenerate();
     let mut criterion = Criterion::default().configure_from_args().sample_size(10);
-    let scenario = Scenario::e3_fig3();
+    let runner = Scenario::e3_fig3().runner();
     criterion.bench_function("e3_single_trial", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(scenario.run_trial(seed))
+            black_box(runner.run_trial(seed))
         });
     });
     criterion.final_summary();

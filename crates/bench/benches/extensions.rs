@@ -15,7 +15,7 @@
 //! Regenerate with `cargo bench -p certify_bench --bench extensions`.
 
 use certify_analysis::ExperimentReport;
-use certify_bench::{banner, run_and_print, DISTRIBUTION_TRIALS};
+use certify_bench::{banner, run_and_print, run_and_print_streamed, DISTRIBUTION_TRIALS};
 use certify_core::campaign::Scenario;
 use certify_core::Outcome;
 use criterion::{black_box, Criterion};
@@ -23,7 +23,7 @@ use criterion::{black_box, Criterion};
 fn e5a() {
     banner("E5a: Figure-3 campaign with the hardware watchdog armed");
     let result = run_and_print(Scenario::e5a_watchdog(), DISTRIBUTION_TRIALS);
-    let report = ExperimentReport::e5a(&result);
+    let report = ExperimentReport::e5a(&result.stats());
     println!("{report}");
 
     // Detection-latency detail for a few panic trials.
@@ -44,7 +44,7 @@ fn e5a() {
 fn e5b() {
     banner("E5b: boot-window E2 with heartbeat + safety monitor");
     let result = run_and_print(Scenario::e5b_monitor(), 40);
-    let report = ExperimentReport::e5b(&result);
+    let report = ExperimentReport::e5b(&result.stats());
     println!("{report}");
     assert!(report.reproduced, "E5b did not reproduce:\n{report}");
 
@@ -52,8 +52,8 @@ fn e5b() {
     let mut golden = Scenario::e5b_monitor();
     golden.name = "e5b-golden-control".into();
     golden.spec = None;
-    let control = run_and_print(golden, 10);
-    let false_alarms: usize = control.trials.iter().map(|t| t.report.monitor_alarms).sum();
+    let control = run_and_print_streamed(golden, 10);
+    let false_alarms = control.monitor_alarms_total;
     println!("false alarms across golden trials: {false_alarms}");
     assert_eq!(false_alarms, 0, "monitor raised false alarms");
 }
@@ -63,12 +63,12 @@ fn main() {
     e5b();
 
     let mut criterion = Criterion::default().configure_from_args().sample_size(10);
-    let scenario = Scenario::e5b_monitor();
+    let runner = Scenario::e5b_monitor().runner();
     criterion.bench_function("e5b_monitor_trial", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(scenario.run_trial(seed))
+            black_box(runner.run_trial(seed))
         });
     });
     criterion.final_summary();

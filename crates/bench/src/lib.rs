@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 use certify_core::campaign::{Campaign, CampaignResult, Scenario};
+use certify_core::{CampaignStats, NullSink};
 
 /// Default trial count for distribution-style experiments.
 pub const DISTRIBUTION_TRIALS: usize = 150;
@@ -19,15 +20,33 @@ pub const DETERMINISTIC_TRIALS: usize = 40;
 /// reproducibility of the printed tables).
 pub const BASE_SEED: u64 = 0xD5_2022;
 
-/// Runs a campaign on all available cores and prints its distribution.
+/// The worker count every bench harness uses: all available cores.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs a campaign on all available cores, buffering every trial, and
+/// prints its distribution. Prefer [`run_and_print_streamed`] unless
+/// the harness needs per-trial evidence afterwards.
 pub fn run_and_print(scenario: Scenario, trials: usize) -> CampaignResult {
     let campaign = Campaign::new(scenario, trials, BASE_SEED);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let result = campaign.run_parallel(workers);
+    let result = campaign.run_parallel(default_workers());
     println!("{result}");
     result
+}
+
+/// Runs a campaign on all available cores through the streamed engine
+/// — trials are folded into [`CampaignStats`] as they complete, so
+/// only O(workers) reports are ever resident — and prints the
+/// distribution (identical bytes to [`run_and_print`] for the same
+/// seeds).
+pub fn run_and_print_streamed(scenario: Scenario, trials: usize) -> CampaignStats {
+    let campaign = Campaign::new(scenario, trials, BASE_SEED);
+    let stats = campaign.run_parallel_streamed(default_workers(), &mut NullSink);
+    println!("{stats}");
+    stats
 }
 
 /// Prints a section banner.

@@ -5,16 +5,26 @@
 //! trials of one scenario and aggregates the outcome distribution —
 //! the data behind Figure 3. Trials are independent systems, so they
 //! can run on parallel threads (cf. the "No PAIN, no gain?" parallel
-//! fault injection study the paper cites [10]).
+//! fault injection study the paper cites [10]) — and because the
+//! campaign's value is the aggregate, results *stream*: the engine
+//! delivers each [`TrialResult`] to a [`TrialSink`] in seed order and
+//! folds it into [`CampaignStats`] online, holding at most `workers`
+//! undelivered reports however large the campaign
+//! ([`Campaign::run_parallel_streamed`]). The buffered
+//! [`Campaign::run`]/[`Campaign::run_parallel`] are thin collecting
+//! sinks over the same engine.
 
 use crate::classify::{classify, Outcome, RunReport};
 use crate::memfault::{MemFaultModel, MemTarget};
+use crate::sink::{CollectSink, TrialSink};
 use crate::spec::{InjectionSpec, MemorySpec};
+use crate::stats::CampaignStats;
 use crate::system::System;
 use certify_guest_linux::MgmtScript;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Seed offset decorrelating a trial's memory-injection RNG from its
 /// register-injection RNG (both are derived from the same trial seed).
@@ -175,18 +185,52 @@ impl Scenario {
         }
     }
 
-    /// Runs one seeded trial of this scenario.
+    /// Prepares this scenario for running many trials: the script and
+    /// specs move behind `Arc`s once, so each trial clones pointers
+    /// instead of deep-copying the script program and fault models
+    /// (the campaign hot path).
+    pub fn runner(&self) -> TrialRunner {
+        TrialRunner {
+            script: Arc::new(self.script.clone()),
+            spec: self.spec.clone().map(Arc::new),
+            mem_spec: self.mem_spec.clone().map(Arc::new),
+            steps: self.steps,
+            rtos_heartbeat: self.rtos_heartbeat,
+        }
+    }
+
+    /// Runs one seeded trial of this scenario. For many trials,
+    /// build a [`Scenario::runner`] once and reuse it.
+    pub fn run_trial(&self, seed: u64) -> TrialResult {
+        self.runner().run_trial(seed)
+    }
+}
+
+/// A [`Scenario`] prepared for repeated trials: immutable parts are
+/// shared behind `Arc`s, so `run_trial` is allocation-light and
+/// `Clone` hands workers a cheap handle.
+#[derive(Debug, Clone)]
+pub struct TrialRunner {
+    script: Arc<MgmtScript>,
+    spec: Option<Arc<InjectionSpec>>,
+    mem_spec: Option<Arc<MemorySpec>>,
+    steps: u64,
+    rtos_heartbeat: bool,
+}
+
+impl TrialRunner {
+    /// Runs one seeded trial.
     pub fn run_trial(&self, seed: u64) -> TrialResult {
         let mut system = if self.rtos_heartbeat {
-            System::new_with_heartbeat(self.script.clone())
+            System::new_with_heartbeat(Arc::clone(&self.script))
         } else {
-            System::new(self.script.clone())
+            System::new(Arc::clone(&self.script))
         };
         if let Some(spec) = &self.spec {
-            system.install_injector(spec.clone(), seed);
+            system.install_injector(Arc::clone(spec), seed);
         }
         if let Some(mem_spec) = &self.mem_spec {
-            system.install_mem_injector(mem_spec.clone(), seed.wrapping_add(MEM_SEED_OFFSET));
+            system.install_mem_injector(Arc::clone(mem_spec), seed.wrapping_add(MEM_SEED_OFFSET));
         }
         system.run(self.steps);
         let report = classify(&system);
@@ -238,59 +282,207 @@ impl Campaign {
         &self.scenario
     }
 
-    /// Runs all trials sequentially.
+    /// Runs all trials sequentially, buffering every report.
+    /// A thin [`CollectSink`] over [`Campaign::run_streamed`].
     pub fn run(&self) -> CampaignResult {
-        let trials = (0..self.trials)
-            .map(|i| self.scenario.run_trial(self.base_seed + i as u64))
-            .collect();
+        let mut sink = CollectSink::new();
+        self.run_streamed(&mut sink);
         CampaignResult {
             scenario_name: self.scenario.name.clone(),
-            trials,
+            trials: sink.into_trials(),
         }
     }
 
-    /// Runs all trials across `workers` threads (trials are fully
-    /// independent systems).
-    ///
-    /// Workers pull trial indices from a shared atomic counter
-    /// (work-stealing: a worker stuck on a slow trial never blocks
-    /// the others), and every trial is seeded `base_seed + i` exactly
-    /// as in [`Campaign::run`] — so the returned trials are in seed
-    /// order and bit-identical to a sequential run, whatever the
-    /// worker count or OS scheduling.
+    /// Runs all trials across `workers` threads, buffering every
+    /// report. A thin [`CollectSink`] over
+    /// [`Campaign::run_parallel_streamed`]; the returned trials are in
+    /// seed order and bit-identical to a sequential [`Campaign::run`],
+    /// whatever the worker count or OS scheduling.
     pub fn run_parallel(&self, workers: usize) -> CampaignResult {
-        let workers = workers.max(1).min(self.trials.max(1));
-        let mut results: Vec<Option<TrialResult>> = (0..self.trials).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let scenario = &self.scenario;
-        let trials = self.trials;
-        let base_seed = self.base_seed;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= trials {
-                                break;
-                            }
-                            local.push((i, scenario.run_trial(base_seed + i as u64)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, result) in handle.join().expect("campaign worker panicked") {
-                    results[i] = Some(result);
-                }
-            }
-        });
+        let mut sink = CollectSink::new();
+        self.run_parallel_streamed(workers, &mut sink);
         CampaignResult {
             scenario_name: self.scenario.name.clone(),
-            trials: results.into_iter().map(|r| r.expect("trial ran")).collect(),
+            trials: sink.into_trials(),
+        }
+    }
+
+    /// Runs all trials sequentially, delivering each report to `sink`
+    /// as it completes (seed order, one resident report) and folding
+    /// it into the returned [`CampaignStats`].
+    pub fn run_streamed<S: TrialSink + ?Sized>(&self, sink: &mut S) -> CampaignStats {
+        let runner = self.scenario.runner();
+        let mut stats = CampaignStats::new(self.scenario.name.clone());
+        for seq in 0..self.trials {
+            let trial = runner.run_trial(self.base_seed + seq as u64);
+            stats.record(&trial);
+            sink.accept(seq, trial);
+        }
+        stats
+    }
+
+    /// Runs all trials across `workers` threads, delivering reports to
+    /// `sink` in seed order as they complete and folding them into the
+    /// returned [`CampaignStats`].
+    ///
+    /// Workers claim trial indices in order from a shared queue, but a
+    /// worker may only *start* trial `i` once `i < delivered + workers`
+    /// — a delivery window that, combined with the reorder buffer the
+    /// consumer drains in seed order, bounds the campaign's resident
+    /// state: at most `workers` completed-but-undelivered
+    /// [`TrialResult`]s exist at any time, however many trials the
+    /// campaign has. Every trial is seeded `base_seed + i` exactly as
+    /// in [`Campaign::run`], so sink deliveries and stats are
+    /// bit-identical to a sequential run.
+    pub fn run_parallel_streamed<S: TrialSink + ?Sized>(
+        &self,
+        workers: usize,
+        sink: &mut S,
+    ) -> CampaignStats {
+        self.run_parallel_streamed_instrumented(workers, sink).0
+    }
+
+    /// [`Campaign::run_parallel_streamed`] plus engine telemetry: the
+    /// second element is the high-water mark of
+    /// completed-but-undelivered [`TrialResult`]s, guaranteed to be at
+    /// most `workers` (clamped to the trial count).
+    pub fn run_parallel_streamed_instrumented<S: TrialSink + ?Sized>(
+        &self,
+        workers: usize,
+        sink: &mut S,
+    ) -> (CampaignStats, usize) {
+        let workers = workers.max(1).min(self.trials.max(1));
+        let runner = self.scenario.runner();
+        let trials = self.trials;
+        let base_seed = self.base_seed;
+        let mut stats = CampaignStats::new(self.scenario.name.clone());
+
+        let shared = Mutex::new(Reorder {
+            next: 0,
+            delivered: 0,
+            buffer: BTreeMap::new(),
+            undelivered: 0,
+            high_water: 0,
+            aborted: false,
+        });
+        // Consumer waits on `ready` for the next in-order report;
+        // workers wait on `space` for the delivery window to open.
+        let ready = Condvar::new();
+        let space = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (runner, shared, ready, space) = (&runner, &shared, &ready, &space);
+                scope.spawn(move || {
+                    // On panic (poisoned lock or unwind mid-trial),
+                    // wake everyone so the scope can tear down instead
+                    // of deadlocking.
+                    let _guard = AbortGuard {
+                        shared,
+                        ready,
+                        space,
+                    };
+                    loop {
+                        let seq = {
+                            let mut state = shared.lock().expect("campaign engine lock");
+                            if state.aborted || state.next >= trials {
+                                break;
+                            }
+                            let seq = state.next;
+                            state.next += 1;
+                            // Delivery window: starting this trial must
+                            // not be able to push the undelivered count
+                            // past `workers`.
+                            while !state.aborted && seq >= state.delivered + workers {
+                                state = space.wait(state).expect("campaign engine lock");
+                            }
+                            if state.aborted {
+                                break;
+                            }
+                            seq
+                        };
+                        let trial = runner.run_trial(base_seed + seq as u64);
+                        let mut state = shared.lock().expect("campaign engine lock");
+                        state.undelivered += 1;
+                        state.high_water = state.high_water.max(state.undelivered);
+                        state.buffer.insert(seq, trial);
+                        drop(state);
+                        ready.notify_all();
+                    }
+                });
+            }
+
+            // The caller's thread is the consumer: drain the reorder
+            // buffer in seed order, fold, deliver, open the window.
+            let _guard = AbortGuard {
+                shared: &shared,
+                ready: &ready,
+                space: &space,
+            };
+            for seq in 0..trials {
+                let trial = {
+                    let mut state = shared.lock().expect("campaign engine lock");
+                    loop {
+                        if let Some(trial) = state.buffer.remove(&seq) {
+                            break trial;
+                        }
+                        assert!(!state.aborted, "campaign worker panicked");
+                        state = ready.wait(state).expect("campaign engine lock");
+                    }
+                };
+                stats.record(&trial);
+                sink.accept(seq, trial);
+                let mut state = shared.lock().expect("campaign engine lock");
+                state.undelivered -= 1;
+                state.delivered += 1;
+                drop(state);
+                space.notify_all();
+            }
+        });
+
+        let high_water = shared
+            .into_inner()
+            .expect("campaign engine lock")
+            .high_water;
+        (stats, high_water)
+    }
+}
+
+/// Shared state of the streamed parallel engine: an in-order index
+/// queue plus the reorder buffer the consumer drains in seed order.
+struct Reorder {
+    /// Next trial index to hand to a worker.
+    next: usize,
+    /// Trials already delivered to the sink.
+    delivered: usize,
+    /// Completed trials waiting for their turn at the sink.
+    buffer: BTreeMap<usize, TrialResult>,
+    /// Completed-but-undelivered reports (buffer plus the one the
+    /// consumer is currently handing to the sink).
+    undelivered: usize,
+    /// High-water mark of `undelivered`.
+    high_water: usize,
+    /// A thread panicked; everyone should stop.
+    aborted: bool,
+}
+
+/// Wakes all engine threads if the owning thread unwinds, so a panic
+/// in a trial or in the sink tears the scope down instead of leaving
+/// the other side blocked on a condvar forever.
+struct AbortGuard<'a> {
+    shared: &'a Mutex<Reorder>,
+    ready: &'a Condvar,
+    space: &'a Condvar,
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Ok(mut state) = self.shared.lock() {
+                state.aborted = true;
+            }
+            self.ready.notify_all();
+            self.space.notify_all();
         }
     }
 }
@@ -305,6 +497,16 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// Folds the buffered trials into the same [`CampaignStats`] a
+    /// streamed run of identical seeds returns.
+    pub fn stats(&self) -> CampaignStats {
+        let mut stats = CampaignStats::new(self.scenario_name.clone());
+        for trial in &self.trials {
+            stats.record(trial);
+        }
+        stats
+    }
+
     /// Outcome histogram.
     pub fn distribution(&self) -> BTreeMap<Outcome, usize> {
         let mut map = BTreeMap::new();
@@ -314,7 +516,10 @@ impl CampaignResult {
         map
     }
 
-    /// Fraction of trials with the given outcome.
+    /// Fraction of trials with the given outcome. For several
+    /// fractions at once, fold [`CampaignResult::stats`] (or
+    /// [`CampaignResult::distribution`]) once and derive them from the
+    /// histogram instead of re-scanning the trials per outcome.
     pub fn fraction(&self, outcome: Outcome) -> f64 {
         if self.trials.is_empty() {
             return 0.0;
@@ -338,22 +543,12 @@ impl CampaignResult {
 
     /// Per-region outcome distribution of a memory-fault campaign:
     /// each trial's outcome is attributed to every region it applied
-    /// at least one memory fault in.
+    /// at least one memory fault in. (A targeted pass; for several
+    /// aggregates at once, fold [`CampaignResult::stats`] instead.)
     pub fn mem_region_distribution(&self) -> BTreeMap<(crate::MemRegionKind, Outcome), usize> {
         let mut map = BTreeMap::new();
         for trial in &self.trials {
-            let mut regions: Vec<crate::MemRegionKind> = trial
-                .report
-                .mem_injections
-                .iter()
-                .filter(|r| r.applied())
-                .flat_map(|r| r.faults.iter().map(|f| f.region))
-                .collect();
-            regions.sort_unstable();
-            regions.dedup();
-            for region in regions {
-                *map.entry((region, trial.outcome)).or_insert(0) += 1;
-            }
+            CampaignStats::attribute_regions(trial, &mut map);
         }
         map
     }
@@ -361,22 +556,10 @@ impl CampaignResult {
 
 impl fmt::Display for CampaignResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "campaign {} ({} trials, {} reg-injected, {} mem-injected)",
-            self.scenario_name,
-            self.trials.len(),
-            self.injected_trials(),
-            self.mem_injected_trials()
-        )?;
-        for (outcome, count) in self.distribution() {
-            writeln!(
-                f,
-                "  {outcome:>20}: {count:4} ({:5.1}%)",
-                100.0 * self.fraction(outcome)
-            )?;
-        }
-        Ok(())
+        // One fold over the trials; fractions derive from the
+        // histogram (the old per-outcome `fraction` calls re-scanned
+        // every trial once per outcome).
+        self.stats().fmt(f)
     }
 }
 

@@ -154,12 +154,10 @@ pub fn classify(system: &System) -> RunReport {
     let watchdog_first_expiry = system.machine.wdt.first_expiry();
     let monitor_alarms = system.linux.monitor_alarms().len();
 
-    // Memory-fault evidence shared by several attributions below.
-    let applied_mem_faults: Vec<_> = mem_injections
-        .iter()
-        .filter(|r| r.applied())
-        .flat_map(|r| r.faults.iter())
-        .collect();
+    // Memory-fault evidence shared by several attributions below —
+    // single passes over the records, no intermediate collections
+    // (this runs once per trial on the campaign hot path).
+    //
     // Step of the first applied *live* stage-2 descriptor fault: only
     // access violations at or after it can be attributed to injected
     // table corruption.
@@ -173,19 +171,26 @@ pub fn classify(system: &System) -> RunReport {
         })
         .map(|r| r.step)
         .min();
-    let live_mem_corruption = applied_mem_faults.iter().any(|f| f.live);
-    let latent_mem_corruption = applied_mem_faults
-        .iter()
-        .any(|f| !f.live && f.before != f.after);
-    let skipped: Vec<&MemInjectionRecord> = mem_injections
-        .iter()
-        .filter(|r| r.skipped.is_some())
-        .collect();
-    if let Some(first) = skipped.first() {
+    let mut live_mem_corruption = false;
+    let mut latent_mem_corruption = false;
+    let mut skipped_count = 0usize;
+    let mut first_skip_reason: Option<&str> = None;
+    for record in &mem_injections {
+        if let Some(reason) = record.skipped.as_deref() {
+            skipped_count += 1;
+            first_skip_reason.get_or_insert(reason);
+            continue;
+        }
+        for fault in &record.faults {
+            live_mem_corruption |= fault.live;
+            latent_mem_corruption |= !fault.live && fault.before != fault.after;
+        }
+    }
+    if skipped_count > 0 {
         notes.push(format!(
             "{} memory injection(s) skipped (first: {})",
-            skipped.len(),
-            first.skipped.as_deref().unwrap_or_default()
+            skipped_count,
+            first_skip_reason.unwrap_or_default()
         ));
     }
 
@@ -281,7 +286,12 @@ pub fn classify(system: &System) -> RunReport {
             ));
         }
         if let Some(start) = system.cell_start_step() {
-            let output = system.rtos_output_since(start);
+            // Count from the already-reassembled capture rather than
+            // re-running the UART line reassembly a second time.
+            let output = serial
+                .iter()
+                .filter(|(s, line)| *s >= start && line.starts_with("[rtos]"))
+                .count();
             notes.push(format!("rtos serial lines since start: {output}"));
         }
         if cell_state == Some(CellState::Running) {

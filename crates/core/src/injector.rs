@@ -78,7 +78,7 @@ impl InjectionLog {
 /// The fault injector.
 #[derive(Debug)]
 pub struct Injector {
-    spec: InjectionSpec,
+    spec: Arc<InjectionSpec>,
     rng: StdRng,
     filtered_calls: u64,
     injections_done: u64,
@@ -88,14 +88,17 @@ pub struct Injector {
 }
 
 impl Injector {
-    /// Creates an injector for `spec`, seeded deterministically.
+    /// Creates an injector for `spec`, seeded deterministically. The
+    /// spec is taken via `Into<Arc<_>>` so campaign workers can share
+    /// one allocation across thousands of trials.
     ///
     /// # Panics
     /// Panics if `spec.rate` is zero (`rate` is a public field, so a
     /// caller can bypass `with_rate`'s validation; a zero rate would
     /// otherwise silently degenerate to a single injection at call 0
     /// because `0.is_multiple_of(0)` is true).
-    pub fn new(spec: InjectionSpec, seed: u64) -> Injector {
+    pub fn new(spec: impl Into<Arc<InjectionSpec>>, seed: u64) -> Injector {
+        let spec = spec.into();
         assert!(spec.rate > 0, "injection rate must be non-zero");
         let mut rng = StdRng::seed_from_u64(seed);
         let phase = if spec.phase_jitter {
@@ -122,7 +125,7 @@ impl Injector {
 
     /// The specification driving this injector.
     pub fn spec(&self) -> &InjectionSpec {
-        &self.spec
+        self.spec.as_ref()
     }
 
     /// Filtered calls observed so far.
@@ -142,10 +145,8 @@ impl InjectionHook for Injector {
             }
         }
         self.filtered_calls += 1;
-        if let Some(window) = self.spec.window {
-            if !window.contains(ctx.step) {
-                return;
-            }
+        if !self.spec.armed(ctx.step) {
+            return;
         }
         match self.spec.time_trigger {
             // Ablation D1: fire at the first matching entry past each

@@ -32,7 +32,12 @@
 //!   categories (*correct*, *invalid arguments*, *inconsistent state*,
 //!   *panic park*, *CPU park*);
 //! * [`campaign`] — seeded, optionally parallel campaigns of
-//!   independent trials;
+//!   independent trials, streamed (sink + online stats, O(workers)
+//!   resident reports) or buffered;
+//! * [`sink`] — the [`sink::TrialSink`] streaming consumer trait and
+//!   stock sinks;
+//! * [`stats`] — [`stats::CampaignStats`], the online constant-size
+//!   campaign aggregates;
 //! * [`profiler`] — golden-run profiling that ranks handler
 //!   activations and (re)derives the paper's three injection points.
 //!
@@ -57,15 +62,19 @@ pub mod injector;
 pub mod memfault;
 pub mod meminjector;
 pub mod profiler;
+pub mod sink;
 pub mod spec;
+pub mod stats;
 pub mod system;
 
-pub use campaign::{Campaign, CampaignResult, Scenario, TrialResult};
+pub use campaign::{Campaign, CampaignResult, Scenario, TrialResult, TrialRunner};
 pub use classify::{classify, Outcome, RunReport};
 pub use fault::{AppliedFault, FaultModel};
 pub use injector::{InjectionRecord, Injector};
 pub use memfault::{AppliedMemFault, MemFaultModel, MemFaultSkip, MemRegionKind, MemTarget};
 pub use meminjector::{MemInjectionLog, MemInjectionRecord, MemInjector};
 pub use profiler::{profile_golden_run, ProfileReport};
+pub use sink::{CollectSink, NullSink, TrialSink};
 pub use spec::{InjectionSpec, InjectionWindow, Intensity, MemorySpec};
+pub use stats::{CampaignStats, CountSummary};
 pub use system::System;

@@ -98,7 +98,7 @@ impl MemInjectionLog {
 /// The memory-fault injector.
 #[derive(Debug)]
 pub struct MemInjector {
-    spec: MemorySpec,
+    spec: Arc<MemorySpec>,
     rng: StdRng,
     /// Next filtered-call threshold that fires an injection.
     next_fire: u64,
@@ -108,11 +108,14 @@ pub struct MemInjector {
 
 impl MemInjector {
     /// Creates a memory injector for `spec`, seeded deterministically.
+    /// The spec is taken via `Into<Arc<_>>` so campaign workers can
+    /// share one allocation across thousands of trials.
     ///
     /// # Panics
     ///
     /// Panics if `spec.rate` is zero.
-    pub fn new(spec: MemorySpec, seed: u64) -> MemInjector {
+    pub fn new(spec: impl Into<Arc<MemorySpec>>, seed: u64) -> MemInjector {
+        let spec = spec.into();
         assert!(spec.rate > 0, "memory injection rate must be non-zero");
         let mut rng = StdRng::seed_from_u64(seed);
         let phase = if spec.phase_jitter {
@@ -137,7 +140,7 @@ impl MemInjector {
 
     /// The specification driving this injector.
     pub fn spec(&self) -> &MemorySpec {
-        &self.spec
+        self.spec.as_ref()
     }
 
     /// The spec's filtered call stream: calls to the target handlers
@@ -171,10 +174,8 @@ impl MemInjector {
                     return;
                 }
             }
-            if let Some(window) = self.spec.window {
-                if !window.contains(step) {
-                    continue;
-                }
+            if !self.spec.armed(step) {
+                continue;
             }
             let (region, addr) = self.spec.target.sample(&mut self.rng);
             let record = match self

@@ -52,6 +52,13 @@ impl fmt::Display for InjectionWindow {
     }
 }
 
+/// Whether `step` is armed under a window list: an empty list means
+/// the injector is armed for the whole run, otherwise any containing
+/// window arms it. Windows may overlap and need not be sorted.
+pub fn windows_arm(windows: &[InjectionWindow], step: u64) -> bool {
+    windows.is_empty() || windows.iter().any(|w| w.contains(step))
+}
+
 /// The paper's two intensity presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Intensity {
@@ -115,8 +122,10 @@ pub struct InjectionSpec {
     /// every `period` simulator steps. `None` = the paper's
     /// call-count trigger.
     pub time_trigger: Option<u64>,
-    /// Only fire inside this step window (`None` = the whole run).
-    pub window: Option<InjectionWindow>,
+    /// Only fire inside these step windows (empty = the whole run).
+    /// Multiple windows let one campaign attack e.g. both the boot
+    /// phase and a later steady-state stretch.
+    pub windows: Vec<InjectionWindow>,
 }
 
 impl InjectionSpec {
@@ -143,7 +152,7 @@ impl InjectionSpec {
             max_injections: None,
             phase_jitter: false,
             time_trigger: None,
-            window: None,
+            windows: Vec::new(),
         }
     }
 
@@ -239,15 +248,32 @@ impl InjectionSpec {
         self
     }
 
-    /// Restricts firing to the `[start, end)` step window, returning
-    /// the spec (builder style).
+    /// Adds a `[start, end)` step window, returning the spec (builder
+    /// style). The one-window call keeps its historical meaning; call
+    /// it again (or use [`InjectionSpec::with_windows`]) to arm
+    /// several disjoint phases of the run.
     ///
     /// # Panics
     ///
     /// Panics if the window is empty.
     pub fn with_window(mut self, start: u64, end: u64) -> InjectionSpec {
-        self.window = Some(InjectionWindow::new(start, end));
+        self.windows.push(InjectionWindow::new(start, end));
         self
+    }
+
+    /// Replaces the window list, returning the spec (builder style).
+    /// An empty list arms the injector for the whole run.
+    pub fn with_windows(
+        mut self,
+        windows: impl IntoIterator<Item = InjectionWindow>,
+    ) -> InjectionSpec {
+        self.windows = windows.into_iter().collect();
+        self
+    }
+
+    /// Whether injections are armed at `step` under the window list.
+    pub fn armed(&self, step: u64) -> bool {
+        windows_arm(&self.windows, step)
     }
 }
 
@@ -272,8 +298,8 @@ pub struct MemorySpec {
     pub max_injections: Option<u64>,
     /// Start the cadence at a seed-derived phase in `[0, rate)`.
     pub phase_jitter: bool,
-    /// Only fire inside this step window (`None` = the whole run).
-    pub window: Option<InjectionWindow>,
+    /// Only fire inside these step windows (empty = the whole run).
+    pub windows: Vec<InjectionWindow>,
 }
 
 impl MemorySpec {
@@ -299,7 +325,7 @@ impl MemorySpec {
             target,
             max_injections: None,
             phase_jitter: false,
-            window: None,
+            windows: Vec::new(),
         }
     }
 
@@ -344,15 +370,31 @@ impl MemorySpec {
         self
     }
 
-    /// Restricts firing to the `[start, end)` step window, returning
-    /// the spec (builder style).
+    /// Adds a `[start, end)` step window, returning the spec (builder
+    /// style). Call repeatedly (or use [`MemorySpec::with_windows`])
+    /// to arm several disjoint phases of the run.
     ///
     /// # Panics
     ///
     /// Panics if the window is empty.
     pub fn with_window(mut self, start: u64, end: u64) -> MemorySpec {
-        self.window = Some(InjectionWindow::new(start, end));
+        self.windows.push(InjectionWindow::new(start, end));
         self
+    }
+
+    /// Replaces the window list, returning the spec (builder style).
+    /// An empty list arms the injector for the whole run.
+    pub fn with_windows(
+        mut self,
+        windows: impl IntoIterator<Item = InjectionWindow>,
+    ) -> MemorySpec {
+        self.windows = windows.into_iter().collect();
+        self
+    }
+
+    /// Whether injections are armed at `step` under the window list.
+    pub fn armed(&self, step: u64) -> bool {
+        windows_arm(&self.windows, step)
     }
 }
 
@@ -398,7 +440,34 @@ mod tests {
             .with_window(100, 900);
         assert_eq!(spec.rate, 10);
         assert_eq!(spec.max_injections, Some(2));
-        assert_eq!(spec.window, Some(InjectionWindow::new(100, 900)));
+        assert_eq!(spec.windows, vec![InjectionWindow::new(100, 900)]);
+    }
+
+    #[test]
+    fn window_lists_arm_any_containing_window() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium()
+            .with_window(10, 20)
+            .with_window(50, 60);
+        assert_eq!(spec.windows.len(), 2);
+        assert!(spec.armed(15));
+        assert!(!spec.armed(30), "between the two windows");
+        assert!(spec.armed(55));
+        assert!(!spec.armed(60), "half-open upper bound");
+
+        // An empty list arms the whole run; with_windows replaces.
+        let always = InjectionSpec::e3_nonroot_trap_medium();
+        assert!(always.armed(0) && always.armed(u64::MAX));
+        let replaced = spec.with_windows([InjectionWindow::new(0, 5)]);
+        assert_eq!(replaced.windows, vec![InjectionWindow::new(0, 5)]);
+        assert!(!replaced.armed(15));
+
+        let mem = MemorySpec::e6_memory(
+            crate::memfault::MemFaultModel::SingleBitFlip,
+            crate::memfault::MemTarget::e6(),
+        )
+        .with_window(10, 20)
+        .with_window(50, 60);
+        assert!(mem.armed(15) && mem.armed(55) && !mem.armed(30));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use certify_hypervisor::hv::IrqDelivery;
 use certify_hypervisor::hypercall as hc;
 use certify_hypervisor::{CellId, Guest, GuestCtx, Hypervisor, SystemConfig};
 use certify_rtos::RtosGuest;
+use std::sync::Arc;
 
 /// Maximum interrupts drained per CPU per step (loop guard).
 const MAX_IRQS_PER_STEP: usize = 8;
@@ -55,18 +56,20 @@ impl std::fmt::Debug for System {
 }
 
 impl System {
-    /// Builds the paper's testbed with the given management script.
-    pub fn new(script: MgmtScript) -> System {
-        Self::build(script, false)
+    /// Builds the paper's testbed with the given management script
+    /// (owned, or shared via `Arc` so campaigns reuse one program
+    /// across thousands of trials).
+    pub fn new(script: impl Into<Arc<MgmtScript>>) -> System {
+        Self::build(script.into(), false)
     }
 
     /// Like [`System::new`], with the E5b safety-heartbeat task added
     /// to the RTOS workload.
-    pub fn new_with_heartbeat(script: MgmtScript) -> System {
-        Self::build(script, true)
+    pub fn new_with_heartbeat(script: impl Into<Arc<MgmtScript>>) -> System {
+        Self::build(script.into(), true)
     }
 
-    fn build(script: MgmtScript, rtos_heartbeat: bool) -> System {
+    fn build(script: Arc<MgmtScript>, rtos_heartbeat: bool) -> System {
         let platform = SystemConfig::banana_pi_demo();
         let cell_config = SystemConfig::freertos_cell();
         let mut machine = Machine::new_banana_pi();
@@ -95,9 +98,14 @@ impl System {
         }
     }
 
-    /// Installs a fault injector built from `spec`, seeded with
-    /// `seed`. Returns a live handle to the injection log.
-    pub fn install_injector(&mut self, spec: InjectionSpec, seed: u64) -> InjectionLog {
+    /// Installs a fault injector built from `spec` (owned or shared
+    /// via `Arc`), seeded with `seed`. Returns a live handle to the
+    /// injection log.
+    pub fn install_injector(
+        &mut self,
+        spec: impl Into<Arc<InjectionSpec>>,
+        seed: u64,
+    ) -> InjectionLog {
         let injector = Injector::new(spec, seed);
         let log = injector.log();
         self.injection_log = Some(log.clone());
@@ -110,10 +118,15 @@ impl System {
         self.injection_log.as_ref()
     }
 
-    /// Installs a memory-fault injector built from `spec`, seeded with
-    /// `seed`. Returns a live handle to the memory-injection log. Can
-    /// coexist with a register injector for mixed campaigns.
-    pub fn install_mem_injector(&mut self, spec: MemorySpec, seed: u64) -> MemInjectionLog {
+    /// Installs a memory-fault injector built from `spec` (owned or
+    /// shared via `Arc`), seeded with `seed`. Returns a live handle to
+    /// the memory-injection log. Can coexist with a register injector
+    /// for mixed campaigns.
+    pub fn install_mem_injector(
+        &mut self,
+        spec: impl Into<Arc<MemorySpec>>,
+        seed: u64,
+    ) -> MemInjectionLog {
         let injector = MemInjector::new(spec, seed);
         let log = injector.log();
         self.mem_injection_log = Some(log.clone());

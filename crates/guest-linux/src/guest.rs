@@ -6,6 +6,7 @@ use certify_board::memmap;
 use certify_hypervisor::hypercall as hc;
 use certify_hypervisor::{CellConfig, Guest, GuestCtx, GuestHealth, SystemConfig};
 use std::fmt;
+use std::sync::Arc;
 
 /// Root-RAM address where the system configuration blob is staged.
 pub const SYS_BLOB_ADDR: u32 = memmap::ROOT_RAM_BASE + 0x0100_0000;
@@ -16,7 +17,9 @@ pub const HEARTBEAT_PERIOD: u64 = 16;
 
 /// The root-cell guest.
 pub struct LinuxGuest {
-    script: MgmtScript,
+    /// The script program is immutable (only the `pc` cursor below
+    /// advances), so campaigns share one `Arc` across all trials.
+    script: Arc<MgmtScript>,
     pc: usize,
     wait: u64,
     health: GuestHealth,
@@ -51,12 +54,17 @@ const BOOT_LINES: [&str; 4] = [
 ];
 
 impl LinuxGuest {
-    /// Creates the root guest with the given management script. The
-    /// configuration blobs are serialized from `platform` /
-    /// `cell_config` (the driver owns the `.cell` files).
-    pub fn new(script: MgmtScript, platform: &SystemConfig, cell_config: &CellConfig) -> Self {
+    /// Creates the root guest with the given management script (owned
+    /// or shared via `Arc`). The configuration blobs are serialized
+    /// from `platform` / `cell_config` (the driver owns the `.cell`
+    /// files).
+    pub fn new(
+        script: impl Into<Arc<MgmtScript>>,
+        platform: &SystemConfig,
+        cell_config: &CellConfig,
+    ) -> Self {
         LinuxGuest {
-            script,
+            script: script.into(),
             pc: 0,
             wait: 0,
             health: GuestHealth::Healthy,

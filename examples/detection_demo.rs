@@ -38,7 +38,7 @@ fn main() {
             None => println!("seed {:>4}: PANIC UNDETECTED", trial.seed),
         }
     }
-    print!("{}", ExperimentReport::e5a(&result));
+    print!("{}", ExperimentReport::e5a(&result.stats()));
 
     println!("\n== E5b: heartbeat monitor vs the inconsistent state ==");
     let result = Campaign::new(Scenario::e5b_monitor(), 30, 0x5B).run_parallel(workers);
@@ -49,5 +49,5 @@ fn main() {
             trial.seed, trial.outcome, trial.report.monitor_alarms
         );
     }
-    print!("{}", ExperimentReport::e5b(&result));
+    print!("{}", ExperimentReport::e5b(&result.stats()));
 }

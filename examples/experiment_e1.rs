@@ -28,5 +28,5 @@ fn main() {
         println!("evidence:  {note}");
     }
 
-    print!("{}", ExperimentReport::e1(&result));
+    print!("{}", ExperimentReport::e1(&result.stats()));
 }

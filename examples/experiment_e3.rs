@@ -6,6 +6,7 @@
 
 use certify_analysis::{ExperimentReport, Figure3};
 use certify_core::campaign::{Campaign, Scenario};
+use certify_core::NullSink;
 
 fn main() {
     let trials: usize = std::env::args()
@@ -15,10 +16,11 @@ fn main() {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let result = Campaign::new(Scenario::e3_fig3(), trials, 0xE3).run_parallel(workers);
+    let stats = Campaign::new(Scenario::e3_fig3(), trials, 0xE3)
+        .run_parallel_streamed(workers, &mut NullSink);
 
-    let figure = Figure3::from_campaign(&result);
+    let figure = Figure3::from_stats(&stats);
     println!("{}", figure.render_chart());
     println!("CSV:\n{}", figure.render_csv());
-    print!("{}", ExperimentReport::e3(&result));
+    print!("{}", ExperimentReport::e3(&stats));
 }

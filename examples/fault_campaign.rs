@@ -1,5 +1,8 @@
 //! Run any of the paper's fault-injection campaigns from the command
-//! line.
+//! line — on the streamed engine: the outcome distribution folds
+//! online and a small custom sink keeps only the first few
+//! non-correct trials for the evidence printout, so memory stays
+//! O(workers) however many trials you ask for.
 //!
 //! ```sh
 //! cargo run --release --example fault_campaign -- e3 100
@@ -10,7 +13,23 @@
 //! ```
 
 use certify_analysis::Figure3;
-use certify_core::campaign::{Campaign, Scenario};
+use certify_core::campaign::{Campaign, Scenario, TrialResult};
+use certify_core::{Outcome, TrialSink};
+
+/// Keeps the first `max` trials that didn't classify *correct* (with
+/// their full reports) and drops everything else on delivery.
+struct InterestingSink {
+    keep: Vec<TrialResult>,
+    max: usize,
+}
+
+impl TrialSink for InterestingSink {
+    fn accept(&mut self, _seq: usize, trial: TrialResult) {
+        if trial.outcome != Outcome::Correct && self.keep.len() < self.max {
+            self.keep.push(trial);
+        }
+    }
+}
 
 fn usage() -> ! {
     eprintln!("usage: fault_campaign <golden|e1|e2|e2-boot|e3> [trials] [seed]");
@@ -39,29 +58,28 @@ fn main() {
     };
 
     println!(
-        "running scenario '{}' with {trials} trials (seed {seed:#x})…",
+        "running scenario '{}' with {trials} trials (seed {seed:#x}, streamed)…",
         scenario.name
     );
     let campaign = Campaign::new(scenario, trials, seed);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let result = campaign.run_parallel(workers);
-    println!("{result}");
+    let mut sink = InterestingSink {
+        keep: Vec::new(),
+        max: 3,
+    };
+    let stats = campaign.run_parallel_streamed(workers, &mut sink);
+    println!("{stats}");
 
     if which == "e3" {
-        let figure = Figure3::from_campaign(&result);
+        let figure = Figure3::from_stats(&stats);
         println!("{}", figure.render_chart());
         println!("paper shape reproduced: {}", figure.matches_paper_shape());
     }
 
-    // Show three interesting trials in detail.
-    for trial in result
-        .trials
-        .iter()
-        .filter(|t| t.outcome != certify_core::Outcome::Correct)
-        .take(3)
-    {
+    // Show the retained interesting trials in detail.
+    for trial in &sink.keep {
         println!("--- seed {} => {} ---", trial.seed, trial.outcome);
         for injection in &trial.report.injections {
             println!("  injection: {injection}");

@@ -6,9 +6,10 @@
 //! cargo run --release --example full_report -- --quick   # smaller campaigns
 //! ```
 
-use certify_analysis::{campaign_to_csv, ExperimentReport, Figure3};
+use certify_analysis::{CsvSink, ExperimentReport, Figure3};
 use certify_core::campaign::{Campaign, Scenario};
 use certify_core::profiler::profile_golden_run;
+use certify_core::NullSink;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -22,22 +23,28 @@ fn main() {
     println!("# Paper-vs-measured report\n");
 
     // E1
-    let e1 = Campaign::new(Scenario::e1_root_high(), det_trials, seed).run_parallel(workers);
+    let e1 = Campaign::new(Scenario::e1_root_high(), det_trials, seed)
+        .run_parallel_streamed(workers, &mut NullSink);
     println!("{e1}");
     reports.push(ExperimentReport::e1(&e1));
 
     // E2 (both campaigns)
-    let e2_bw = Campaign::new(Scenario::e2_boot_window(), det_trials, seed).run_parallel(workers);
+    let e2_bw = Campaign::new(Scenario::e2_boot_window(), det_trials, seed)
+        .run_parallel_streamed(workers, &mut NullSink);
     println!("{e2_bw}");
-    let e2_full =
-        Campaign::new(Scenario::e2_nonroot_high(), 2 * det_trials, seed).run_parallel(workers);
+    let e2_full = Campaign::new(Scenario::e2_nonroot_high(), 2 * det_trials, seed)
+        .run_parallel_streamed(workers, &mut NullSink);
     println!("{e2_full}");
     reports.push(ExperimentReport::e2(&e2_bw, &e2_full));
 
-    // E3 + Figure 3
-    let e3 = Campaign::new(Scenario::e3_fig3(), dist_trials, seed).run_parallel(workers);
+    // E3 + Figure 3. The per-trial CSV (--csv) wants the full rows,
+    // so this one campaign streams into a CSV sink as it runs; the
+    // reports themselves only need the online stats.
+    let mut e3_csv = CsvSink::in_memory();
+    let e3 = Campaign::new(Scenario::e3_fig3(), dist_trials, seed)
+        .run_parallel_streamed(workers, &mut e3_csv);
     println!("{e3}");
-    let figure = Figure3::from_campaign(&e3);
+    let figure = Figure3::from_stats(&e3);
     println!("{}", figure.render_chart());
     reports.push(ExperimentReport::e3(&e3));
 
@@ -47,9 +54,11 @@ fn main() {
     reports.push(ExperimentReport::e4(&profile));
 
     // E5 extensions
-    let e5a = Campaign::new(Scenario::e5a_watchdog(), dist_trials, seed).run_parallel(workers);
+    let e5a = Campaign::new(Scenario::e5a_watchdog(), dist_trials, seed)
+        .run_parallel_streamed(workers, &mut NullSink);
     reports.push(ExperimentReport::e5a(&e5a));
-    let e5b = Campaign::new(Scenario::e5b_monitor(), det_trials, seed).run_parallel(workers);
+    let e5b = Campaign::new(Scenario::e5b_monitor(), det_trials, seed)
+        .run_parallel_streamed(workers, &mut NullSink);
     reports.push(ExperimentReport::e5b(&e5b));
 
     println!("\n# Summary\n");
@@ -63,9 +72,10 @@ fn main() {
         if all_reproduced { "YES" } else { "NO" }
     );
 
-    // Per-trial CSV of the headline figure, for external analysis.
+    // Per-trial CSV of the headline figure, for external analysis
+    // (streamed row by row while the campaign ran).
     if std::env::args().any(|a| a == "--csv") {
-        println!("\n# E3 per-trial CSV\n{}", campaign_to_csv(&e3));
+        println!("\n# E3 per-trial CSV\n{}", e3_csv.into_csv());
     }
     if !all_reproduced {
         std::process::exit(1);

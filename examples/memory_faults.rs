@@ -2,22 +2,24 @@
 //!
 //! Runs a seeded campaign for every memory fault model against every
 //! E6 target region (non-root RAM, stage-2 translation tables, the
-//! communication region), each in parallel, and prints:
+//! communication region), each in parallel **on the streamed engine**
+//! (trials fold into `CampaignStats` as they complete; only
+//! O(workers) reports are ever resident), and prints:
 //!
 //! * the per-(model, region) outcome distribution,
 //! * the aggregated per-region outcome distribution as CSV,
 //! * a full per-trial CSV (with the `applied_faults` column) for the
-//!   mixed-region campaign.
+//!   mixed-region campaign, streamed row by row to stdout.
 //!
 //! ```sh
 //! cargo run --release --example memory_faults            # 12 trials per cell
 //! cargo run --release --example memory_faults -- 30 7    # trials, seed
 //! ```
 
-use certify_analysis::campaign_to_csv;
+use certify_analysis::CsvSink;
 use certify_core::campaign::{Campaign, Scenario};
 use certify_core::memfault::{MemFaultModel, MemRegionKind, MemTarget};
-use certify_core::Outcome;
+use certify_core::{NullSink, Outcome};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -39,7 +41,7 @@ fn main() {
     let models = MemFaultModel::e6_models();
 
     println!(
-        "E6 memory-fault sweep: {} models x {} regions, {trials} trials each (seed {seed:#x}, {workers} workers)",
+        "E6 memory-fault sweep: {} models x {} regions, {trials} trials each (seed {seed:#x}, {workers} workers, streamed)",
         models.len(),
         regions.len(),
     );
@@ -50,13 +52,14 @@ fn main() {
     for model in &models {
         for region in regions {
             let scenario = Scenario::e6_memory(model.clone(), MemTarget::only(region));
-            let result = Campaign::new(scenario, trials, seed).run_parallel(workers);
+            let stats =
+                Campaign::new(scenario, trials, seed).run_parallel_streamed(workers, &mut NullSink);
             print!(
-                "\n--- {model} x {region} ({} of {trials} trials injected) ---\n{result}",
-                result.mem_injected_trials()
+                "\n--- {model} x {region} ({} of {trials} trials injected) ---\n{stats}",
+                stats.mem_injected_trials
             );
-            for ((r, outcome), count) in result.mem_region_distribution() {
-                *per_region.entry((r, outcome)).or_insert(0) += count;
+            for ((r, outcome), count) in &stats.mem_region_distribution {
+                *per_region.entry((*r, *outcome)).or_insert(0) += count;
             }
         }
     }
@@ -68,15 +71,20 @@ fn main() {
     }
 
     // One mixed-region campaign, exported per-trial with the
-    // applied_faults column.
+    // applied_faults column: rows stream to stdout as trials finish,
+    // each report dropped after its row.
+    println!("\n==== mixed-region single-bit-flip campaign (per-trial CSV, streamed) ====");
+    let stdout = std::io::stdout();
+    let mut csv = CsvSink::new(stdout.lock()).expect("stdout writable");
     let mixed = Campaign::new(
         Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6()),
         trials,
         seed,
     )
-    .run_parallel(workers);
-    println!("\n==== mixed-region single-bit-flip campaign (per-trial CSV) ====");
-    print!("{}", campaign_to_csv(&mixed));
+    .run_parallel_streamed(workers, &mut csv);
+    let rows = csv.rows();
+    drop(csv.finish().expect("stdout writable"));
+    assert_eq!(rows, mixed.trials, "one CSV row per trial");
 
     // The sweep must have exercised every region.
     for region in regions {

@@ -1,0 +1,13 @@
+//! Helpers shared by the campaign integration suites.
+
+/// The worker matrix the determinism and streaming suites sweep:
+/// 1, 4 and whatever the host actually has, deduplicated.
+pub fn worker_counts() -> Vec<usize> {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1, 4, available];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}

@@ -1,32 +1,43 @@
 //! Parallel-vs-sequential determinism of the campaign engine.
 //!
 //! `Campaign::run_parallel` distributes trials over `std::thread::scope`
-//! workers through an atomic work-stealing index, but every trial is
-//! seeded `base_seed + i` and slotted back at index `i` — so the
+//! workers through the streamed reorder-buffer engine, but every trial
+//! is seeded `base_seed + i` and delivered at sequence `i` — so the
 //! result must be *identical* (every field of every `TrialResult`,
 //! including full `RunReport` evidence) to sequential `run()`, for any
-//! worker count and any OS scheduling of the workers.
+//! worker count and any OS scheduling of the workers. The streamed
+//! `CampaignStats` must be identical too. CI runs this suite in both
+//! debug and `--release`, where trial timing skew actually exercises
+//! the reorder buffer.
 
 use certify_core::campaign::{Campaign, CampaignResult, Scenario};
+use certify_core::NullSink;
 
-fn worker_counts() -> Vec<usize> {
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut counts = vec![1, 4, available];
-    counts.sort_unstable();
-    counts.dedup();
-    counts
-}
+mod common;
+use common::worker_counts;
 
 fn assert_parallel_matches_sequential(campaign: &Campaign) {
     let sequential = campaign.run();
+    let sequential_stats = campaign.run_streamed(&mut NullSink);
+    assert_eq!(
+        sequential_stats,
+        sequential.stats(),
+        "run_streamed stats diverged from run() for scenario {}",
+        campaign.scenario().name
+    );
     for workers in worker_counts() {
         let parallel = campaign.run_parallel(workers);
         assert_eq!(
             sequential,
             parallel,
             "run_parallel({workers}) diverged from run() for scenario {}",
+            campaign.scenario().name
+        );
+        let parallel_stats = campaign.run_parallel_streamed(workers, &mut NullSink);
+        assert_eq!(
+            sequential_stats,
+            parallel_stats,
+            "run_parallel_streamed({workers}) stats diverged for scenario {}",
             campaign.scenario().name
         );
     }

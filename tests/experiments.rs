@@ -26,7 +26,7 @@ fn e1_high_intensity_root_context_always_invalid_arguments() {
             .iter()
             .any(|n| n.contains("not allocated")));
     }
-    assert!(ExperimentReport::e1(&result).reproduced);
+    assert!(ExperimentReport::e1(&result.stats()).reproduced);
 }
 
 #[test]
