@@ -18,9 +18,12 @@ use std::io::{self, Write};
 /// and streaming writers.
 pub const CSV_HEADER: &str = "seed,outcome,injections,mem_injections,cell_state,cpu1_park,serial_lines,watchdog_expiry,monitor_alarms,applied_faults,notes\n";
 
-/// Escapes one CSV field (RFC-4180 quoting).
+/// Escapes one CSV field (RFC-4180 quoting). A bare carriage return
+/// must be quoted like a line feed — RFC 4180 treats CRLF (and by
+/// extension any CR) as a record terminator, so an unquoted `\r` in a
+/// note or fault rendering would split the row.
 fn field(value: &str) -> String {
-    if value.contains(',') || value.contains('"') || value.contains('\n') {
+    if value.contains(',') || value.contains('"') || value.contains('\n') || value.contains('\r') {
         format!("\"{}\"", value.replace('"', "\"\""))
     } else {
         value.to_string()
@@ -95,7 +98,12 @@ pub fn campaign_to_csv(result: &CampaignResult) -> String {
 /// exports bounded-memory.
 ///
 /// I/O errors don't panic the campaign: the first error is latched,
-/// further rows are skipped, and [`CsvSink::finish`] surfaces it.
+/// further rows are skipped, and [`CsvSink::finish`] surfaces it. A
+/// write that fails *midway through a row* leaves a truncated partial
+/// row in the output; the sink tracks the bytes actually accepted and
+/// reports the truncation through the latched error (and
+/// [`CsvSink::truncated_row_bytes`]) so `finish()` can never hand
+/// back a silently corrupt CSV.
 #[derive(Debug)]
 pub struct CsvSink<W: Write> {
     out: W,
@@ -103,6 +111,10 @@ pub struct CsvSink<W: Write> {
     row: String,
     rows: usize,
     error: Option<io::Error>,
+    /// Bytes of a partially written row left in the output when the
+    /// latched error struck mid-row (0 = the output ends on a row
+    /// boundary and is valid CSV up to that point).
+    truncated_row_bytes: usize,
 }
 
 impl<W: Write> CsvSink<W> {
@@ -114,6 +126,7 @@ impl<W: Write> CsvSink<W> {
             row: String::new(),
             rows: 0,
             error: None,
+            truncated_row_bytes: 0,
         })
     }
 
@@ -122,8 +135,56 @@ impl<W: Write> CsvSink<W> {
         self.rows
     }
 
+    /// Bytes of an incomplete final row left in the output by a
+    /// mid-row write failure (0 when the output ends cleanly).
+    pub fn truncated_row_bytes(&self) -> usize {
+        self.truncated_row_bytes
+    }
+
+    /// Writes one full row, tracking how many bytes the writer
+    /// actually accepted so a mid-row failure is distinguishable from
+    /// a clean between-rows failure.
+    fn write_row(&mut self) -> io::Result<()> {
+        let mut written = 0;
+        let bytes = self.row.as_bytes();
+        while written < bytes.len() {
+            match self.out.write(&bytes[written..]) {
+                Ok(0) => {
+                    self.truncated_row_bytes = written;
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        format!(
+                            "csv row {} truncated after {written} of {} bytes",
+                            self.rows + 1,
+                            bytes.len()
+                        ),
+                    ));
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.truncated_row_bytes = written;
+                    return Err(if written > 0 {
+                        io::Error::new(
+                            e.kind(),
+                            format!(
+                                "csv row {} truncated after {written} of {} bytes: {e}",
+                                self.rows + 1,
+                                bytes.len()
+                            ),
+                        )
+                    } else {
+                        e
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Flushes and returns the underlying writer, or the first I/O
-    /// error hit while streaming.
+    /// error hit while streaming (including a mid-row truncation —
+    /// see [`CsvSink::truncated_row_bytes`]).
     pub fn finish(mut self) -> io::Result<W> {
         if let Some(error) = self.error.take() {
             return Err(error);
@@ -153,7 +214,7 @@ impl<W: Write> TrialSink for CsvSink<W> {
         }
         self.row.clear();
         trial_to_csv_row(&trial, &mut self.row);
-        match self.out.write_all(self.row.as_bytes()) {
+        match self.write_row() {
             Ok(()) => self.rows += 1,
             Err(error) => self.error = Some(error),
         }
@@ -211,7 +272,89 @@ mod tests {
         .unwrap();
         Campaign::new(Scenario::golden(800), 2, 5).run_streamed(&mut sink);
         assert_eq!(sink.rows(), 0);
+        // The failure struck before any row byte landed: the output is
+        // valid (if empty) CSV, and the error still surfaces.
+        assert_eq!(sink.truncated_row_bytes(), 0);
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn mid_row_write_failure_surfaces_the_truncation() {
+        /// Accepts the header, then 7 bytes of the first row, then
+        /// fails every write — leaving a truncated partial row behind.
+        #[derive(Debug)]
+        struct TruncateMidRow {
+            accepted: Vec<u8>,
+            budget: usize,
+        }
+        impl Write for TruncateMidRow {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::Error::other("disk full"));
+                }
+                let n = buf.len().min(self.budget);
+                self.accepted.extend_from_slice(&buf[..n]);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut sink = CsvSink::new(TruncateMidRow {
+            accepted: Vec::new(),
+            budget: CSV_HEADER.len() + 7,
+        })
+        .unwrap();
+        Campaign::new(Scenario::golden(800), 2, 5).run_streamed(&mut sink);
+        // No row was fully accepted, and the sink knows exactly how
+        // many stray bytes sit past the last row boundary.
+        assert_eq!(sink.rows(), 0);
+        assert_eq!(sink.truncated_row_bytes(), 7);
+        let err = sink.finish().expect_err("truncation must surface");
+        let message = err.to_string();
+        assert!(
+            message.contains("truncated after 7"),
+            "error does not describe the truncation: {message}"
+        );
+    }
+
+    #[test]
+    fn interrupted_writes_are_retried_not_latched() {
+        /// Interrupts every other write, accepting one byte at a time
+        /// otherwise — the sink must retry through `Interrupted` and
+        /// deliver every row intact.
+        struct Flaky {
+            accepted: Vec<u8>,
+            tick: usize,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.tick += 1;
+                if self.tick.is_multiple_of(2) {
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+                }
+                self.accepted.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let campaign = Campaign::new(Scenario::golden(800), 2, 5);
+        let mut sink = CsvSink::new(Flaky {
+            accepted: Vec::new(),
+            tick: 0,
+        })
+        .unwrap();
+        campaign.run_streamed(&mut sink);
+        assert_eq!(sink.rows(), 2);
+        assert_eq!(sink.truncated_row_bytes(), 0);
+        let out = sink.finish().expect("no hard error");
+        let text = String::from_utf8(out.accepted).unwrap();
+        assert_eq!(text, campaign_to_csv(&campaign.run()));
     }
 
     #[test]
@@ -219,6 +362,16 @@ mod tests {
         assert_eq!(field("a,b"), "\"a,b\"");
         assert_eq!(field("plain"), "plain");
         assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fields_with_bare_carriage_returns_are_quoted() {
+        // RFC 4180: CR participates in the record terminator, so a
+        // bare `\r` inside a field must force quoting or the row
+        // splits in consumers that accept lone-CR line endings.
+        assert_eq!(field("a\rb"), "\"a\rb\"");
+        assert_eq!(field("a\r\nb"), "\"a\r\nb\"");
+        assert_eq!(field("\r"), "\"\r\"");
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct Gic {
     /// Count of interrupts raised while the line was disabled — a useful
     /// liveness diagnostic for the analysis crate.
     dropped: u64,
+    /// Interrupts queued across all CPU interfaces, maintained
+    /// incrementally so the per-step "anything pending?" check of the
+    /// orchestrator costs one load instead of a per-CPU queue walk.
+    pending_total: usize,
 }
 
 impl Gic {
@@ -87,6 +91,7 @@ impl Gic {
             target: vec![None; NUM_IRQS],
             interfaces: vec![CpuInterface::default(); num_cpus],
             dropped: 0,
+            pending_total: 0,
         }
     }
 
@@ -179,6 +184,7 @@ impl Gic {
                 // Level-ish semantics: collapse duplicates already queued.
                 if !interface.pending.contains(&irq.0) {
                     interface.pending.push_back(irq.0);
+                    self.pending_total += 1;
                 }
                 true
             }
@@ -197,6 +203,17 @@ impl Gic {
             .unwrap_or(false)
     }
 
+    /// Whether any CPU interface has a pending interrupt — an O(1)
+    /// gate for the orchestrator's per-step wake/drain pass.
+    pub fn any_pending(&self) -> bool {
+        self.pending_total > 0
+    }
+
+    /// Total interrupts queued across every CPU interface.
+    pub fn total_pending(&self) -> usize {
+        self.pending_total
+    }
+
     /// Acknowledges the highest-priority (oldest, in this model) pending
     /// interrupt on `cpu`, making it active. Returns [`SPURIOUS_IRQ`]
     /// when nothing is pending.
@@ -211,6 +228,7 @@ impl Gic {
         match interface.pending.pop_front() {
             Some(id) => {
                 interface.active = Some(id);
+                self.pending_total -= 1;
                 IrqId(id)
             }
             None => SPURIOUS_IRQ,
@@ -245,6 +263,7 @@ impl Gic {
     /// reset as part of cell destruction.
     pub fn reset_cpu_interface(&mut self, cpu: CpuId) {
         if let Some(interface) = self.interfaces.get_mut(cpu.0 as usize) {
+            self.pending_total -= interface.pending.len();
             interface.pending.clear();
             interface.active = None;
         }
@@ -360,6 +379,27 @@ mod tests {
         assert_eq!(gic.active(CpuId(0)), Some(active));
         gic.complete(CpuId(0), active);
         assert_eq!(gic.active(CpuId(0)), None);
+    }
+
+    #[test]
+    fn pending_total_tracks_queue_drain_and_reset() {
+        let mut gic = gic2();
+        assert!(!gic.any_pending());
+        let timer = IrqId(27);
+        gic.enable(timer);
+        gic.raise_private(CpuId(0), timer);
+        gic.raise_private(CpuId(0), timer); // duplicate collapses
+        gic.send_sgi(CpuId(1), IrqId(1));
+        assert_eq!(gic.total_pending(), 2);
+        assert_eq!(gic.acknowledge(CpuId(0)), timer);
+        assert_eq!(gic.total_pending(), 1);
+        assert!(gic.any_pending());
+        gic.reset_cpu_interface(CpuId(1));
+        assert_eq!(gic.total_pending(), 0);
+        assert!(!gic.any_pending());
+        // Spurious acknowledges don't underflow the counter.
+        assert_eq!(gic.acknowledge(CpuId(1)), SPURIOUS_IRQ);
+        assert_eq!(gic.total_pending(), 0);
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //! but the structure supports arbitrary mappings.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Page size (4 KiB).
@@ -118,32 +117,80 @@ impl fmt::Display for S2Fault {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct PageEntry {
-    /// Output page frame (PA >> PAGE_SHIFT).
-    frame: u32,
-    perms: S2Perms,
-}
+/// Entries in a first-level table (4 GiB of IPA space / 4 MiB blocks).
+const L1_ENTRIES: usize = 1 << (32 - BLOCK_SHIFT);
+/// Entries in a second-level table (4 MiB block / 4 KiB pages).
+const L2_ENTRIES: usize = 1 << (BLOCK_SHIFT - PAGE_SHIFT);
 
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 enum L1Entry {
+    /// No mapping: every access through this entry faults.
+    Invalid,
     /// 4 MiB identity-style block.
     Block { frame: u32, perms: S2Perms },
-    /// Second-level page table.
-    Table(HashMap<u32, PageEntry>),
+    /// Second-level page table: one raw descriptor word per 4 KiB page
+    /// in the [`desc`] encoding (`0` = unmapped) — the same flat-array
+    /// shape the hardware walks, which also makes building a cell's
+    /// table a plain array fill instead of per-page map insertions.
+    Table(Box<[u32; L2_ENTRIES]>),
 }
 
 /// A per-cell stage-2 translation table.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Stage2Table {
-    l1: HashMap<u32, L1Entry>,
+    /// First-level table, allocated on first mapping.
+    l1: Vec<L1Entry>,
     mapped_pages: u64,
+}
+
+/// Encodes a raw page descriptor word.
+fn encode_desc(frame: u32, perms: S2Perms) -> u32 {
+    let mut word = (frame << PAGE_SHIFT) | desc::VALID;
+    if perms.read {
+        word |= desc::READ;
+    }
+    if perms.write {
+        word |= desc::WRITE;
+    }
+    if perms.execute {
+        word |= desc::EXECUTE;
+    }
+    word
+}
+
+/// Decodes the permission bits of a raw descriptor word.
+fn decode_perms(word: u32) -> S2Perms {
+    S2Perms {
+        read: word & desc::READ != 0,
+        write: word & desc::WRITE != 0,
+        execute: word & desc::EXECUTE != 0,
+    }
 }
 
 impl Stage2Table {
     /// Creates an empty (all-faulting) table.
     pub fn new() -> Stage2Table {
         Stage2Table::default()
+    }
+
+    /// Mutable first-level entry for `ipa`, growing the table on first
+    /// use.
+    fn l1_entry_mut(&mut self, ipa: u32) -> &mut L1Entry {
+        if self.l1.is_empty() {
+            self.l1.resize(L1_ENTRIES, L1Entry::Invalid);
+        }
+        &mut self.l1[(ipa >> BLOCK_SHIFT) as usize]
+    }
+
+    /// Splits a block entry into an equivalent second-level table.
+    fn split_block(entry: &mut L1Entry) {
+        if let L1Entry::Block { frame, perms } = *entry {
+            let mut pages = Box::new([0u32; L2_ENTRIES]);
+            for (i, word) in pages.iter_mut().enumerate() {
+                *word = encode_desc(frame + i as u32, perms);
+            }
+            *entry = L1Entry::Table(pages);
+        }
     }
 
     /// Maps `[ipa, ipa + size)` to the identical physical range with
@@ -166,18 +213,41 @@ impl Stage2Table {
         while addr != end {
             let remaining = end.wrapping_sub(addr);
             if addr.is_multiple_of(BLOCK_SIZE) && remaining >= BLOCK_SIZE {
-                self.l1.insert(
-                    addr >> BLOCK_SHIFT,
-                    L1Entry::Block {
-                        frame: addr >> PAGE_SHIFT,
-                        perms,
-                    },
-                );
+                let entry = self.l1_entry_mut(addr);
+                *entry = L1Entry::Block {
+                    frame: addr >> PAGE_SHIFT,
+                    perms,
+                };
                 self.mapped_pages += u64::from(BLOCK_SIZE / PAGE_SIZE);
                 addr = addr.wrapping_add(BLOCK_SIZE);
             } else {
-                self.map_page(addr, addr, perms);
-                addr = addr.wrapping_add(PAGE_SIZE);
+                // Fill the whole page run within this 4 MiB window in
+                // one pass over the second-level array (building a
+                // cell's table is a hot part of per-trial setup).
+                let window_end = (addr & !(BLOCK_SIZE - 1)).wrapping_add(BLOCK_SIZE);
+                let run_end = if remaining < window_end.wrapping_sub(addr) {
+                    end
+                } else {
+                    window_end
+                };
+                let entry = self.l1_entry_mut(addr);
+                if matches!(entry, L1Entry::Invalid) {
+                    *entry = L1Entry::Table(Box::new([0u32; L2_ENTRIES]));
+                }
+                Self::split_block(entry);
+                let L1Entry::Table(pages) = entry else {
+                    unreachable!("entry was just converted to a table");
+                };
+                let mut fresh = 0;
+                let mut page = addr;
+                while page != run_end {
+                    let slot = &mut pages[((page >> PAGE_SHIFT) & 0x3ff) as usize];
+                    fresh += u64::from(*slot & desc::VALID == 0);
+                    *slot = encode_desc(page >> PAGE_SHIFT, perms);
+                    page = page.wrapping_add(PAGE_SIZE);
+                }
+                self.mapped_pages += fresh;
+                addr = run_end;
             }
         }
     }
@@ -190,51 +260,19 @@ impl Stage2Table {
     pub fn map_page(&mut self, ipa: u32, pa: u32, perms: S2Perms) {
         assert_eq!(ipa % PAGE_SIZE, 0, "ipa must be page-aligned");
         assert_eq!(pa % PAGE_SIZE, 0, "pa must be page-aligned");
-        let l1_index = ipa >> BLOCK_SHIFT;
-        let entry = self
-            .l1
-            .entry(l1_index)
-            .or_insert_with(|| L1Entry::Table(HashMap::new()));
-        match entry {
-            L1Entry::Table(pages) => {
-                let fresh = pages
-                    .insert(
-                        (ipa >> PAGE_SHIFT) & 0x3ff,
-                        PageEntry {
-                            frame: pa >> PAGE_SHIFT,
-                            perms,
-                        },
-                    )
-                    .is_none();
-                if fresh {
-                    self.mapped_pages += 1;
-                }
-            }
-            L1Entry::Block { .. } => {
-                // Split the block into a page table, then map.
-                let (frame, block_perms) = match entry {
-                    L1Entry::Block { frame, perms } => (*frame, *perms),
-                    L1Entry::Table(_) => unreachable!(),
-                };
-                let mut pages = HashMap::new();
-                for i in 0..(BLOCK_SIZE / PAGE_SIZE) {
-                    pages.insert(
-                        i,
-                        PageEntry {
-                            frame: frame + i,
-                            perms: block_perms,
-                        },
-                    );
-                }
-                pages.insert(
-                    (ipa >> PAGE_SHIFT) & 0x3ff,
-                    PageEntry {
-                        frame: pa >> PAGE_SHIFT,
-                        perms,
-                    },
-                );
-                *entry = L1Entry::Table(pages);
-            }
+        let entry = self.l1_entry_mut(ipa);
+        if matches!(entry, L1Entry::Invalid) {
+            *entry = L1Entry::Table(Box::new([0u32; L2_ENTRIES]));
+        }
+        Self::split_block(entry);
+        let L1Entry::Table(pages) = entry else {
+            unreachable!("entry was just converted to a table");
+        };
+        let slot = &mut pages[((ipa >> PAGE_SHIFT) & 0x3ff) as usize];
+        let fresh = *slot & desc::VALID == 0;
+        *slot = encode_desc(pa >> PAGE_SHIFT, perms);
+        if fresh {
+            self.mapped_pages += 1;
         }
     }
 
@@ -246,39 +284,32 @@ impl Stage2Table {
     pub fn unmap(&mut self, ipa: u32, size: u32) {
         assert_eq!(ipa % PAGE_SIZE, 0, "ipa must be page-aligned");
         assert_eq!(size % PAGE_SIZE, 0, "size must be page-aligned");
+        if self.l1.is_empty() {
+            return;
+        }
         let mut addr = ipa;
         let end = ipa.wrapping_add(size);
         while addr != end {
-            let l1_index = addr >> BLOCK_SHIFT;
+            let entry = &mut self.l1[(addr >> BLOCK_SHIFT) as usize];
             if addr.is_multiple_of(BLOCK_SIZE)
                 && end.wrapping_sub(addr) >= BLOCK_SIZE
-                && matches!(self.l1.get(&l1_index), Some(L1Entry::Block { .. }))
+                && matches!(entry, L1Entry::Block { .. })
             {
-                self.l1.remove(&l1_index);
+                *entry = L1Entry::Invalid;
                 self.mapped_pages -= u64::from(BLOCK_SIZE / PAGE_SIZE);
                 addr = addr.wrapping_add(BLOCK_SIZE);
                 continue;
             }
-            if let Some(L1Entry::Block { frame, perms }) = self.l1.get(&l1_index).cloned() {
-                // Partial unmap of a block: split first.
-                let mut pages = HashMap::new();
-                for i in 0..(BLOCK_SIZE / PAGE_SIZE) {
-                    pages.insert(
-                        i,
-                        PageEntry {
-                            frame: frame + i,
-                            perms,
-                        },
-                    );
-                }
-                self.l1.insert(l1_index, L1Entry::Table(pages));
-            }
-            if let Some(L1Entry::Table(pages)) = self.l1.get_mut(&l1_index) {
-                if pages.remove(&((addr >> PAGE_SHIFT) & 0x3ff)).is_some() {
+            // Partial unmap of a block: split first.
+            Self::split_block(entry);
+            if let L1Entry::Table(pages) = entry {
+                let slot = &mut pages[((addr >> PAGE_SHIFT) & 0x3ff) as usize];
+                if *slot & desc::VALID != 0 {
+                    *slot = 0;
                     self.mapped_pages -= 1;
                 }
-                if pages.is_empty() {
-                    self.l1.remove(&l1_index);
+                if pages.iter().all(|&w| w & desc::VALID == 0) {
+                    *entry = L1Entry::Invalid;
                 }
             }
             addr = addr.wrapping_add(PAGE_SIZE);
@@ -295,25 +326,27 @@ impl Stage2Table {
     pub fn translate(&self, ipa: u32, access: AccessKind) -> Result<u32, S2Fault> {
         let entry = self
             .l1
-            .get(&(ipa >> BLOCK_SHIFT))
+            .get((ipa >> BLOCK_SHIFT) as usize)
             .ok_or(S2Fault::Translation { ipa })?;
         let (frame, perms, offset) = match entry {
+            L1Entry::Invalid => return Err(S2Fault::Translation { ipa }),
             L1Entry::Block { frame, perms } => (*frame, *perms, ipa & (BLOCK_SIZE - 1)),
             L1Entry::Table(pages) => {
-                let page = pages
-                    .get(&((ipa >> PAGE_SHIFT) & 0x3ff))
-                    .ok_or(S2Fault::Translation { ipa })?;
-                (page.frame, page.perms, ipa & (PAGE_SIZE - 1))
+                let word = pages[((ipa >> PAGE_SHIFT) & 0x3ff) as usize];
+                if word & desc::VALID == 0 {
+                    return Err(S2Fault::Translation { ipa });
+                }
+                (
+                    word >> PAGE_SHIFT,
+                    decode_perms(word),
+                    ipa & (PAGE_SIZE - 1),
+                )
             }
         };
         if !perms.allows(access) {
             return Err(S2Fault::Permission { ipa, access });
         }
-        let base = match entry {
-            L1Entry::Block { .. } => frame << PAGE_SHIFT,
-            L1Entry::Table(_) => frame << PAGE_SHIFT,
-        };
-        Ok(base | offset)
+        Ok((frame << PAGE_SHIFT) | offset)
     }
 
     /// Number of 4 KiB pages currently mapped.
@@ -326,30 +359,24 @@ impl Stage2Table {
     /// unmapped. This is the word a memory-fault campaign corrupts to
     /// model MMU-table faults.
     pub fn descriptor_word(&self, ipa: u32) -> u32 {
-        let Some(entry) = self.l1.get(&(ipa >> BLOCK_SHIFT)) else {
+        let Some(entry) = self.l1.get((ipa >> BLOCK_SHIFT) as usize) else {
             return 0;
         };
-        let (frame, perms) = match entry {
+        match entry {
+            L1Entry::Invalid => 0,
             L1Entry::Block { frame, perms } => {
                 // The page's output frame within the 4 MiB block.
-                (frame + ((ipa >> PAGE_SHIFT) & 0x3ff), *perms)
+                encode_desc(frame + ((ipa >> PAGE_SHIFT) & 0x3ff), *perms)
             }
-            L1Entry::Table(pages) => match pages.get(&((ipa >> PAGE_SHIFT) & 0x3ff)) {
-                Some(page) => (page.frame, page.perms),
-                None => return 0,
-            },
-        };
-        let mut word = (frame << PAGE_SHIFT) | desc::VALID;
-        if perms.read {
-            word |= desc::READ;
+            L1Entry::Table(pages) => {
+                let word = pages[((ipa >> PAGE_SHIFT) & 0x3ff) as usize];
+                if word & desc::VALID == 0 {
+                    0
+                } else {
+                    word
+                }
+            }
         }
-        if perms.write {
-            word |= desc::WRITE;
-        }
-        if perms.execute {
-            word |= desc::EXECUTE;
-        }
-        word
     }
 
     /// Replaces the descriptor of the page containing `ipa` with the

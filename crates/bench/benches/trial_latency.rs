@@ -1,0 +1,202 @@
+//! Wall-clock per-trial latency of the campaign hot path.
+//!
+//! The ROADMAP's perf item tracks the cost of one fault-injection
+//! trial end to end — `System` construction, the 4500-step E3 run and
+//! classification — against a <0.2 ms target (the seed measured
+//! ~0.8 ms). This harness measures it directly with `std::time`
+//! (criterion's sampling adds nothing for a millisecond-scale,
+//! deterministic workload), prints a per-scenario table and emits a
+//! machine-readable `BENCH_hotpath.json` so CI can detect regressions.
+//!
+//! Modes (after `--`):
+//!
+//! * *(none)* — full run: 5 rounds × 400 trials per scenario;
+//! * `--fast` — smoke run: 3 rounds × 120 trials;
+//! * `--emit <path>` — also write the JSON report to `<path>`;
+//! * `--check <path>` — compare the E3 mean against the committed
+//!   baseline JSON and exit non-zero if it regressed by more than
+//!   25 % (the CI gate).
+//!
+//! The headline metric is the **best-round mean**: the mean per-trial
+//! wall time of the fastest round. Rounds amortise interference from
+//! co-tenants on shared CI hardware; the best round estimates the
+//! unloaded cost, which is what code changes move.
+//!
+//! Regenerate with `cargo bench -p certify_bench --bench
+//! trial_latency` (add `-- --fast` for the smoke configuration).
+
+use certify_core::campaign::Scenario;
+use certify_core::{MemFaultModel, MemTarget};
+use std::time::Instant;
+
+/// The per-trial budget the ROADMAP targets, in microseconds.
+const TARGET_US: f64 = 200.0;
+/// The seed-state cost this work started from, in microseconds.
+const SEED_BASELINE_US: f64 = 805.0;
+/// CI failure threshold: measured mean may exceed the committed
+/// baseline by at most this factor.
+const REGRESSION_FACTOR: f64 = 1.25;
+
+struct Config {
+    rounds: usize,
+    trials: usize,
+    emit: Option<String>,
+    check: Option<String>,
+    fast: bool,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        rounds: 5,
+        trials: 400,
+        emit: None,
+        check: None,
+        fast: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => {
+                config.fast = true;
+                config.rounds = 3;
+                config.trials = 120;
+            }
+            "--emit" => {
+                config.emit = Some(args.next().unwrap_or_else(|| panic!("--emit needs a path")));
+            }
+            "--check" => {
+                config.check = Some(
+                    args.next()
+                        .unwrap_or_else(|| panic!("--check needs a path")),
+                );
+            }
+            // Cargo's own bench plumbing.
+            "--bench" => {}
+            // Any other flag is a typo — failing loudly keeps the CI
+            // gate from silently degrading into a no-op.
+            flag if flag.starts_with('-') => panic!("unknown trial_latency flag: {flag}"),
+            // Bare positionals are cargo bench-name filters; ignore.
+            _ => {}
+        }
+    }
+    config
+}
+
+/// Best-round (minimum) and worst-round (maximum) mean per-trial wall
+/// time, in microseconds.
+fn measure(scenario: Scenario, rounds: usize, trials: usize) -> (f64, f64) {
+    let runner = scenario.runner();
+    // Warm-up: populate caches, the jump tables and the shared
+    // platform blobs.
+    for seed in 0..(trials / 4).max(8) as u64 {
+        std::hint::black_box(runner.run_trial(seed));
+    }
+    let mut best = f64::INFINITY;
+    let mut worst = 0.0f64;
+    for round in 0..rounds {
+        let start = Instant::now();
+        for i in 0..trials as u64 {
+            let seed = 0xD5_2022 + round as u64 * trials as u64 + i;
+            std::hint::black_box(runner.run_trial(seed));
+        }
+        let mean_us = start.elapsed().as_secs_f64() * 1e6 / trials as f64;
+        best = best.min(mean_us);
+        worst = worst.max(mean_us);
+    }
+    (best, worst)
+}
+
+/// Resolves a report path: cargo runs bench binaries from the package
+/// directory, but the committed baseline lives at the workspace root —
+/// so relative paths are anchored there.
+fn resolve(path: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(path);
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(path)
+    }
+}
+
+/// Pulls `"key": value` out of a flat JSON report (the baseline file
+/// is emitted by this bench, so a scan is all the parsing it needs).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let config = parse_args();
+    println!(
+        "==== trial_latency: per-trial wall clock ({} rounds x {} trials{}) ====",
+        config.rounds,
+        config.trials,
+        if config.fast { ", fast" } else { "" }
+    );
+
+    let (e3_best, e3_worst) = measure(Scenario::e3_fig3(), config.rounds, config.trials);
+    let (golden_best, golden_worst) = measure(Scenario::golden(4500), config.rounds, config.trials);
+    let (e6_best, e6_worst) = measure(
+        Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6()),
+        config.rounds,
+        config.trials / 2,
+    );
+
+    for (name, best, worst) in [
+        ("e3_fig3 (4500 steps)", e3_best, e3_worst),
+        ("golden (4500 steps)", golden_best, golden_worst),
+        ("e6_memory (4500 steps)", e6_best, e6_worst),
+    ] {
+        println!("{name:>24}: best-round mean {best:8.1} us/trial, worst {worst:8.1}");
+    }
+    println!(
+        "e3 vs seed baseline ({SEED_BASELINE_US} us): {:.1}x faster; target {TARGET_US} us: {}",
+        SEED_BASELINE_US / e3_best,
+        if e3_best < TARGET_US { "MET" } else { "MISSED" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"trial_latency\",\n  \"mode\": \"{}\",\n  \"rounds\": {},\n  \"trials_per_round\": {},\n  \"e3_mean_us\": {:.1},\n  \"e3_worst_round_us\": {:.1},\n  \"golden_mean_us\": {:.1},\n  \"golden_worst_round_us\": {:.1},\n  \"e6_mean_us\": {:.1},\n  \"e6_worst_round_us\": {:.1},\n  \"target_us\": {:.1},\n  \"seed_baseline_us\": {:.1}\n}}\n",
+        if config.fast { "fast" } else { "full" },
+        config.rounds,
+        config.trials,
+        e3_best,
+        e3_worst,
+        golden_best,
+        golden_worst,
+        e6_best,
+        e6_worst,
+        TARGET_US,
+        SEED_BASELINE_US,
+    );
+    print!("{json}");
+
+    if let Some(path) = &config.emit {
+        let path = resolve(path);
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(path) = &config.check {
+        let path = resolve(path);
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading baseline {}: {e}", path.display()));
+        let committed = json_number(&baseline, "e3_mean_us")
+            .unwrap_or_else(|| panic!("no e3_mean_us in {}", path.display()));
+        let limit = committed * REGRESSION_FACTOR;
+        println!(
+            "regression check: measured {e3_best:.1} us vs committed {committed:.1} us \
+             (limit {limit:.1} us)"
+        );
+        assert!(
+            e3_best <= limit,
+            "per-trial mean regressed: {e3_best:.1} us > {limit:.1} us \
+             ({REGRESSION_FACTOR}x the committed {committed:.1} us baseline)"
+        );
+        println!("regression check passed");
+    }
+}

@@ -67,6 +67,12 @@ pub struct Machine {
     /// Watchdog timer (public: the analysis crate reads expiries).
     pub wdt: Watchdog,
     step: u64,
+    /// Step at which the per-core timers were last synchronised.
+    timer_sync: u64,
+    /// Absolute step of the earliest pending timer expiry (`u64::MAX`
+    /// when no timer is enabled) — [`Machine::advance`] only walks the
+    /// timer array at deadlines instead of every step.
+    timer_next: u64,
 }
 
 impl Machine {
@@ -95,6 +101,8 @@ impl Machine {
             gpio: Gpio::new(),
             wdt: Watchdog::default(),
             step: 0,
+            timer_sync: 0,
+            timer_next: 0,
         };
         machine.gic.enable(IrqId(memmap::TIMER_IRQ));
         machine
@@ -134,6 +142,11 @@ impl Machine {
     ///
     /// Panics if the id is out of range.
     pub fn timer_mut(&mut self, id: CpuId) -> &mut GenericTimer {
+        // Bring the timers up to the current step so the caller sees
+        // live counters, and force a deadline recomputation on the
+        // next advance (the caller may reconfigure the timer).
+        self.sync_timers();
+        self.timer_next = self.step;
         &mut self.timers[id.0 as usize]
     }
 
@@ -143,15 +156,33 @@ impl Machine {
     }
 
     /// Advances global time by one step and steps every core's timer,
-    /// forwarding expirations to the GIC as private interrupts.
+    /// forwarding expirations to the GIC as private interrupts. Timer
+    /// counters advance lazily: the array is only walked when the
+    /// earliest deadline is due.
     pub fn advance(&mut self) {
         self.step += 1;
-        for i in 0..self.timers.len() {
-            if let Some(irq) = self.timers[i].step() {
-                self.gic.raise_private(CpuId(i as u32), irq);
-            }
+        if self.step >= self.timer_next {
+            self.sync_timers();
         }
         self.wdt.step(self.step);
+    }
+
+    /// Applies the steps elapsed since the last synchronisation to
+    /// every timer (firing those whose deadline is now) and recomputes
+    /// the earliest deadline.
+    fn sync_timers(&mut self) {
+        let delta = self.step - self.timer_sync;
+        self.timer_sync = self.step;
+        let mut next = u64::MAX;
+        for i in 0..self.timers.len() {
+            if let Some(irq) = self.timers[i].advance_by(delta) {
+                self.gic.raise_private(CpuId(i as u32), irq);
+            }
+            if let Some(remaining) = self.timers[i].steps_until_fire() {
+                next = next.min(self.step + remaining);
+            }
+        }
+        self.timer_next = next;
     }
 
     /// Decodes an address to its device, if it is device MMIO.
@@ -259,7 +290,7 @@ mod tests {
             .write32(memmap::UART_BASE + memmap::UART_THR_OFFSET, u32::from(b'A'))
             .unwrap();
         assert_eq!(machine.uart.byte_count(), 1);
-        assert_eq!(machine.uart.captured()[0].step, 2);
+        assert_eq!(machine.uart.captured().next().unwrap().step, 2);
     }
 
     #[test]

@@ -7,16 +7,42 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+
+/// A multiply-shift hasher for page indices. Page numbers are small
+/// dense integers; the default SipHash costs more than the page access
+/// it guards, and every 32-bit bus access goes through this map.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u32 keys below).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        // Fibonacci multiply-shift: mixes the low bits into the high
+        // ones the hash table actually uses.
+        self.0 = u64::from(value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
 
 /// Sparse RAM covering `[base, base + size)`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ram {
     base: u32,
     size: u32,
-    pages: HashMap<u32, Vec<u8>>,
+    pages: HashMap<u32, Vec<u8>, BuildHasherDefault<PageHasher>>,
 }
 
 /// One word-granular corruption applied through the fault helpers
@@ -62,7 +88,7 @@ impl Ram {
         Ram {
             base,
             size,
-            pages: HashMap::new(),
+            pages: HashMap::default(),
         }
     }
 
@@ -130,6 +156,15 @@ impl Ram {
     /// Returns [`OutOfRange`] if any byte falls outside the window.
     pub fn read32(&self, addr: u32) -> Result<u32, OutOfRange> {
         self.check(addr, 4)?;
+        let offset = addr - self.base;
+        let idx = (offset & (PAGE_SIZE - 1)) as usize;
+        if idx + 4 <= PAGE_SIZE as usize {
+            // All four bytes in one page: a single lookup.
+            return Ok(match self.pages.get(&(offset >> PAGE_SHIFT)) {
+                Some(page) => u32::from_le_bytes(page[idx..idx + 4].try_into().unwrap()),
+                None => 0,
+            });
+        }
         let mut value = 0u32;
         for i in 0..4 {
             value |= u32::from(self.read8(addr + i)?) << (8 * i);
@@ -144,6 +179,17 @@ impl Ram {
     /// Returns [`OutOfRange`] if any byte falls outside the window.
     pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), OutOfRange> {
         self.check(addr, 4)?;
+        let offset = addr - self.base;
+        let idx = (offset & (PAGE_SIZE - 1)) as usize;
+        if idx + 4 <= PAGE_SIZE as usize {
+            // All four bytes in one page: a single lookup.
+            let page = self
+                .pages
+                .entry(offset >> PAGE_SHIFT)
+                .or_insert_with(|| vec![0; PAGE_SIZE as usize]);
+            page[idx..idx + 4].copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
         for i in 0..4 {
             self.write8(addr + i, (value >> (8 * i)) as u8)?;
         }

@@ -58,7 +58,7 @@ proptest! {
                 .write32(memmap::UART_BASE + memmap::UART_THR_OFFSET, *v)
                 .unwrap();
         }
-        let captured: Vec<u8> = machine.uart.captured().iter().map(|b| b.byte).collect();
+        let captured: Vec<u8> = machine.uart.captured().map(|b| b.byte).collect();
         let expected: Vec<u8> = values.iter().map(|v| (*v & 0xff) as u8).collect();
         prop_assert_eq!(captured, expected);
     }

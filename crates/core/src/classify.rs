@@ -35,7 +35,7 @@ use crate::system::System;
 use certify_arch::cpu::ParkReason;
 use certify_arch::CpuId;
 use certify_guest_linux::MgmtOp;
-use certify_hypervisor::{CellState, Guest, GuestHealth, HvEvent};
+use certify_hypervisor::{CellState, Guest, GuestHealth};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -128,10 +128,17 @@ impl fmt::Display for RunReport {
 }
 
 /// Classifies a finished run.
+///
+/// Runs once per campaign trial, so it reads O(1) evidence: the
+/// hypervisor's online counters ([`certify_hypervisor::Evidence`])
+/// replace the four event-trace scans the classifier used to make,
+/// and the serial log is consulted through the UART's incremental
+/// line index (borrowed bytes, no per-line allocation).
 pub fn classify(system: &System) -> RunReport {
     let mut notes = Vec::new();
-    let serial = system.serial_lines();
-    let serial_line_count = serial.len();
+    let uart = &system.machine.uart;
+    let serial_line_count = uart.line_count();
+    let evidence = system.hv.evidence();
 
     let injections = system
         .injection_log()
@@ -211,49 +218,27 @@ pub fn classify(system: &System) -> RunReport {
     // --- Panic park: whole-system failure ---------------------------
     let hyp_panic = system.hv.panicked().is_some();
     let linux_panic = system.linux.health() == GuestHealth::Panicked
-        || serial
-            .iter()
-            .any(|(_, l)| l.contains("Kernel panic - not syncing"));
+        || uart
+            .indexed_lines()
+            .any(|l| l.contains("Kernel panic - not syncing"));
     let root_parked_on_trap = matches!(
         system.machine.cpu(CpuId(0)).park_reason(),
         Some(ParkReason::UnhandledTrap(_))
     );
 
     // --- Inconsistent state: reported running, never executed -------
-    let failed_online = system.hv.events().iter().any(|e| {
-        matches!(
-            e,
-            HvEvent::CpuParked {
-                cpu: CpuId(1),
-                reason: ParkReason::FailedOnline,
-                ..
-            }
-        )
-    });
+    let cpu1_tally = evidence.park_tally(CpuId(1));
+    let failed_online = cpu1_tally.failed_online > 0;
     let broken_guest = system.rtos_broken_observed();
     let boot_rejected = system.boot_failures() > 0;
 
     // --- CPU park / translation storm evidence ----------------------
-    let cpu1_unhandled = system.hv.events().iter().any(|e| {
-        matches!(
-            e,
-            HvEvent::CpuParked {
-                cpu: CpuId(1),
-                reason: ParkReason::UnhandledTrap(_),
-                ..
-            }
-        )
-    });
+    let cpu1_unhandled = cpu1_tally.unhandled_trap > 0;
     // Violations at or after the first live table fault — violations
     // that predate it (or occur with no table fault at all) cannot
     // have been caused by injected descriptor corruption.
     let storm_violations = match first_table_fault_step {
-        Some(first) => system
-            .hv
-            .events()
-            .iter()
-            .filter(|e| matches!(e, HvEvent::AccessViolation { step, .. } if *step >= first))
-            .count(),
+        Some(first) => evidence.violations_since(first),
         None => 0,
     };
 
@@ -286,11 +271,11 @@ pub fn classify(system: &System) -> RunReport {
             ));
         }
         if let Some(start) = system.cell_start_step() {
-            // Count from the already-reassembled capture rather than
-            // re-running the UART line reassembly a second time.
-            let output = serial
-                .iter()
-                .filter(|(s, line)| *s >= start && line.starts_with("[rtos]"))
+            // Binary-searched tail of the incremental line index — no
+            // capture reassembly.
+            let output = uart
+                .lines_since(start)
+                .filter(|line| line.starts_with("[rtos]"))
                 .count();
             notes.push(format!("rtos serial lines since start: {output}"));
         }
@@ -310,16 +295,7 @@ pub fn classify(system: &System) -> RunReport {
         }
     } else if cpu1_unhandled {
         outcome = Outcome::CpuPark;
-        if let Some(HvEvent::CpuParked { reason, .. }) = system.hv.events().iter().find(|e| {
-            matches!(
-                e,
-                HvEvent::CpuParked {
-                    cpu: CpuId(1),
-                    reason: ParkReason::UnhandledTrap(_),
-                    ..
-                }
-            )
-        }) {
+        if let Some(reason) = cpu1_tally.first_unhandled_trap {
             notes.push(format!("cpu1 parked: {reason}"));
         }
         notes.push("fault isolated to the non-root cell".into());

@@ -79,6 +79,10 @@ impl InjectionLog {
 #[derive(Debug)]
 pub struct Injector {
     spec: Arc<InjectionSpec>,
+    /// The spec's handler-target set as a flat mask indexed by
+    /// [`HandlerKind::index`] — the hook runs on *every* handler entry
+    /// of the run, so the filter must not cost a set lookup.
+    target_mask: [bool; HandlerKind::ALL.len()],
     rng: StdRng,
     filtered_calls: u64,
     injections_done: u64,
@@ -107,8 +111,13 @@ impl Injector {
         } else {
             0
         };
+        let mut target_mask = [false; HandlerKind::ALL.len()];
+        for handler in &spec.targets {
+            target_mask[handler.index()] = true;
+        }
         Injector {
             spec,
+            target_mask,
             rng,
             filtered_calls: phase,
             injections_done: 0,
@@ -136,7 +145,9 @@ impl Injector {
 
 impl InjectionHook for Injector {
     fn on_handler_entry(&mut self, ctx: &mut HookCtx<'_>) {
-        if !self.spec.matches(ctx.handler, ctx.cpu) {
+        if !self.target_mask[ctx.handler.index()]
+            || !self.spec.cpu_filter.map(|f| f == ctx.cpu).unwrap_or(true)
+        {
             return;
         }
         if let Some(max) = self.spec.max_injections {
@@ -168,6 +179,7 @@ impl InjectionHook for Injector {
         if faults.is_empty() {
             return;
         }
+        ctx.mark_touched();
         self.injections_done += 1;
         self.log.push(InjectionRecord {
             step: ctx.step,
@@ -194,6 +206,7 @@ mod tests {
                 call_index: i + 1,
                 step: i,
                 regs: &mut regs,
+                touched: false,
             };
             injector.on_handler_entry(&mut ctx);
         }
@@ -266,6 +279,7 @@ mod tests {
                 call_index: step / 50 + 1,
                 step,
                 regs: &mut regs,
+                touched: false,
             };
             injector.on_handler_entry(&mut ctx);
         }
@@ -288,6 +302,7 @@ mod tests {
                 call_index: 1,
                 step,
                 regs: &mut regs,
+                touched: false,
             };
             injector.on_handler_entry(&mut ctx);
         }
@@ -312,6 +327,7 @@ mod tests {
                 call_index: step + 1,
                 step,
                 regs: &mut regs,
+                touched: false,
             };
             injector.on_handler_entry(&mut ctx);
         }

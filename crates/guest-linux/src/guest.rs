@@ -63,6 +63,17 @@ impl LinuxGuest {
         platform: &SystemConfig,
         cell_config: &CellConfig,
     ) -> Self {
+        Self::with_blobs(script, platform.serialize(), cell_config.serialize())
+    }
+
+    /// Like [`LinuxGuest::new`], with the configuration blobs already
+    /// serialized — campaigns serialize the fixed platform configs
+    /// once and hand each trial a byte copy.
+    pub fn with_blobs(
+        script: impl Into<Arc<MgmtScript>>,
+        system_blob: Vec<u8>,
+        cell_blob: Vec<u8>,
+    ) -> Self {
         LinuxGuest {
             script: script.into(),
             pc: 0,
@@ -75,8 +86,8 @@ impl LinuxGuest {
             records: Vec::new(),
             pending_offline: None,
             created_cell: None,
-            system_blob: platform.serialize(),
-            cell_blob: cell_config.serialize(),
+            system_blob,
+            cell_blob,
             watchdog_armed: false,
             monitor: None,
             monitor_alarms: Vec::new(),
@@ -136,10 +147,9 @@ impl LinuxGuest {
         }
     }
 
+    /// One heartbeat period's hardware work (the caller gates on
+    /// `HEARTBEAT_PERIOD`).
     fn heartbeat(&mut self, ctx: &mut GuestCtx<'_>) {
-        if !self.steps.is_multiple_of(HEARTBEAT_PERIOD) {
-            return;
-        }
         if self.watchdog_armed {
             // The kernel's heartbeat path feeds the hardware watchdog:
             // a panicked kernel stops feeding and the dog barks.
@@ -374,10 +384,16 @@ impl Guest for LinuxGuest {
             return;
         }
 
-        self.heartbeat(ctx);
-        if ctx.parked() {
-            self.health = GuestHealth::HardFault;
-            return;
+        // The heartbeat only touches hardware every HEARTBEAT_PERIOD
+        // steps, and a park can only arise from those accesses (an
+        // externally parked CPU never enters step() at all) — so the
+        // park check is gated to the steps that did I/O.
+        if self.steps.is_multiple_of(HEARTBEAT_PERIOD) {
+            self.heartbeat(ctx);
+            if ctx.parked() {
+                self.health = GuestHealth::HardFault;
+                return;
+            }
         }
 
         if self.wait > 0 {
@@ -454,8 +470,10 @@ mod tests {
     fn boot_banner_appears_on_uart() {
         let (mut machine, mut hv, mut guest) = new_system();
         drive(&mut machine, &mut hv, &mut guest, 6);
-        let log: Vec<String> = machine.uart.lines().into_iter().map(|(_, l)| l).collect();
-        assert!(log.iter().any(|l| l.contains("Booting Linux")));
+        assert!(machine
+            .uart
+            .indexed_lines()
+            .any(|l| l.contains("Booting Linux")));
     }
 
     #[test]
@@ -487,8 +505,10 @@ mod tests {
             guest.step(&mut ctx);
         }
         assert_eq!(guest.health(), GuestHealth::Panicked);
-        let log: Vec<String> = machine.uart.lines().into_iter().map(|(_, l)| l).collect();
-        assert!(log.iter().any(|l| l.contains("Kernel panic - not syncing")));
+        assert!(machine
+            .uart
+            .indexed_lines()
+            .any(|l| l.contains("Kernel panic - not syncing")));
         // A panicked kernel makes no further progress.
         let bytes = machine.uart.byte_count();
         {
@@ -545,7 +565,9 @@ mod tests {
             certify_hypervisor::HvError::InvalidArguments.code()
         );
         assert!(!hv.is_enabled());
-        let log: Vec<String> = machine.uart.lines().into_iter().map(|(_, l)| l).collect();
-        assert!(log.iter().any(|l| l.contains("invalid arguments")));
+        assert!(machine
+            .uart
+            .indexed_lines()
+            .any(|l| l.contains("invalid arguments")));
     }
 }

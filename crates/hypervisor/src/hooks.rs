@@ -35,6 +35,16 @@ impl HandlerKind {
         HandlerKind::ArchHandleHvc,
     ];
 
+    /// Dense index of this handler in [`HandlerKind::ALL`] — used for
+    /// flat per-handler tables on hot paths.
+    pub fn index(self) -> usize {
+        match self {
+            HandlerKind::IrqchipHandleIrq => 0,
+            HandlerKind::ArchHandleTrap => 1,
+            HandlerKind::ArchHandleHvc => 2,
+        }
+    }
+
     /// The C function name used in the paper.
     pub fn function_name(self) -> &'static str {
         match self {
@@ -68,12 +78,30 @@ pub struct HookCtx<'a> {
     /// The live register context; mutations are what the handler will
     /// see and what a resumed guest will get back.
     pub regs: &'a mut RegisterFile,
+    /// Must be set (via [`HookCtx::mark_touched`]) by any hook that
+    /// mutates `regs`. When it stays `false` the hypervisor knows the
+    /// entry context is exactly what it set up and skips the pointer
+    /// integrity check and the guest-register writeback — the handler
+    /// fast path that keeps fault-free campaign steps cheap.
+    pub touched: bool,
+}
+
+impl HookCtx<'_> {
+    /// Records that the hook mutated the register context, so the
+    /// hypervisor re-validates pointers and writes back guest state.
+    pub fn mark_touched(&mut self) {
+        self.touched = true;
+    }
 }
 
 /// A fault-injection (or tracing) hook installed into the hypervisor.
 pub trait InjectionHook: fmt::Debug {
     /// Invoked at every profiled-handler entry, before the handler
     /// reads any register.
+    ///
+    /// A hook that mutates `ctx.regs` **must** call
+    /// [`HookCtx::mark_touched`]; otherwise the hypervisor assumes the
+    /// context is untouched and skips corruption-dependent work.
     fn on_handler_entry(&mut self, ctx: &mut HookCtx<'_>);
 }
 
@@ -133,6 +161,7 @@ mod tests {
                 call_index: i + 1,
                 step: i,
                 regs: &mut regs,
+                touched: false,
             };
             hook.on_handler_entry(&mut ctx);
         }
@@ -142,6 +171,7 @@ mod tests {
             call_index: 1,
             step: 9,
             regs: &mut regs,
+            touched: false,
         };
         hook.on_handler_entry(&mut ctx);
         assert_eq!(hook.count(HandlerKind::ArchHandleHvc, CpuId(0)), 3);

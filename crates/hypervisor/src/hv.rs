@@ -14,7 +14,7 @@
 use crate::cell::{Cell, CellId, CellState, ROOT_CELL};
 use crate::config::{CellConfig, MemFlags, SystemConfig};
 use crate::error::HvError;
-use crate::event::{CorruptionTarget, HvEvent};
+use crate::event::{CorruptionTarget, Evidence, HvEvent};
 use crate::hooks::{HandlerKind, HookCtx, InjectionHook};
 use crate::hypercall as hc;
 use crate::regconv;
@@ -22,7 +22,6 @@ use certify_arch::cpu::ParkReason;
 use certify_arch::syndrome::{ExceptionClass, Syndrome};
 use certify_arch::{CpuId, IrqId, Reg, RegisterFile, SPURIOUS_IRQ};
 use certify_board::{memmap, Machine};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Maximum size of a staged configuration blob.
@@ -49,20 +48,43 @@ pub enum IrqDelivery {
     Guest(IrqId),
 }
 
+/// Number of profiled handler kinds (flat call-count table stride).
+const NUM_HANDLERS: usize = HandlerKind::ALL.len();
+
 /// The partitioning hypervisor.
 pub struct Hypervisor {
     platform: SystemConfig,
     enabled: bool,
     cells: Vec<Option<Cell>>,
     cpu_owner: Vec<Option<CellId>>,
+    /// Bumped whenever any CPU's owning cell changes, so orchestrators
+    /// can cache ownership lookups between changes.
+    ownership_epoch: u64,
     boot_entry: Vec<Option<u32>>,
-    call_counts: BTreeMap<(HandlerKind, u32), u64>,
+    /// Flat per-(CPU, handler) call counters, `cpu * NUM_HANDLERS +
+    /// handler` — indexed on every handler entry, so no map lookups on
+    /// the hot path.
+    call_counts: Vec<u64>,
     hook: Option<Box<dyn InjectionHook>>,
     events: Vec<HvEvent>,
+    evidence: Evidence,
     trace_handlers: bool,
     corruption_notices: Vec<CellId>,
     latent_hv_corruption: bool,
     panic: Option<String>,
+    /// Per-CPU cache of the last sub-page direct window resolved via
+    /// the region list (see [`Hypervisor::stage2_allows_cached`]).
+    direct_win: Vec<DirectWin>,
+}
+
+/// One cached direct-access window (sub-page device region).
+#[derive(Debug, Clone, Copy, Default)]
+struct DirectWin {
+    base: u32,
+    end: u32,
+    read: bool,
+    write: bool,
+    epoch: u64,
 }
 
 impl fmt::Debug for Hypervisor {
@@ -83,14 +105,17 @@ impl Hypervisor {
             enabled: false,
             cells: Vec::new(),
             cpu_owner: Vec::new(),
+            ownership_epoch: 0,
             boot_entry: Vec::new(),
-            call_counts: BTreeMap::new(),
+            call_counts: Vec::new(),
             hook: None,
             events: Vec::new(),
+            evidence: Evidence::default(),
             trace_handlers: false,
             corruption_notices: Vec::new(),
             latent_hv_corruption: false,
             panic: None,
+            direct_win: Vec::new(),
         }
     }
 
@@ -132,21 +157,44 @@ impl Hypervisor {
     /// Calls observed for `handler` on `cpu` (the golden-run profile).
     pub fn call_count(&self, handler: HandlerKind, cpu: CpuId) -> u64 {
         self.call_counts
-            .get(&(handler, cpu.0))
+            .get(cpu.0 as usize * NUM_HANDLERS + handler.index())
             .copied()
             .unwrap_or(0)
     }
 
-    /// All `(handler, cpu, count)` profile rows.
+    /// All `(handler, cpu, count)` profile rows with a non-zero count,
+    /// ordered by handler then CPU.
     pub fn call_counts(&self) -> impl Iterator<Item = (HandlerKind, CpuId, u64)> + '_ {
-        self.call_counts
-            .iter()
-            .map(|(&(handler, cpu), &count)| (handler, CpuId(cpu), count))
+        HandlerKind::ALL.into_iter().flat_map(move |handler| {
+            (0..self.call_counts.len() / NUM_HANDLERS).filter_map(move |cpu| {
+                let count = self.call_counts[cpu * NUM_HANDLERS + handler.index()];
+                (count > 0).then_some((handler, CpuId(cpu as u32), count))
+            })
+        })
     }
 
     /// The structured event trace.
+    ///
+    /// Console-putc hypercalls are traced only while
+    /// [`Hypervisor::set_trace_handlers`] is on: at one hypercall per
+    /// serial byte they dominate the trace without carrying
+    /// classification signal (the bytes themselves are in the UART
+    /// capture).
     pub fn events(&self) -> &[HvEvent] {
         &self.events
+    }
+
+    /// Online classification evidence (park tallies, access-violation
+    /// counts), updated as events are recorded — the O(1) counters the
+    /// trial classifier reads instead of scanning the trace.
+    pub fn evidence(&self) -> &Evidence {
+        &self.evidence
+    }
+
+    /// Bumped whenever a CPU's owning cell changes; callers may cache
+    /// [`Hypervisor::cpu_owner`] results while it is unchanged.
+    pub fn ownership_epoch(&self) -> u64 {
+        self.ownership_epoch
     }
 
     /// Enables per-handler-entry trace events (off by default; the
@@ -163,6 +211,12 @@ impl Hypervisor {
     /// Removes the injection hook, returning it.
     pub fn take_hook(&mut self) -> Option<Box<dyn InjectionHook>> {
         self.hook.take()
+    }
+
+    /// Whether any corruption notice is queued — an O(1) gate so the
+    /// orchestrator only pays for the drain when something happened.
+    pub fn has_corruption_notices(&self) -> bool {
+        !self.corruption_notices.is_empty()
     }
 
     /// Drains pending memory-corruption notices (cells whose RAM a
@@ -193,6 +247,10 @@ impl Hypervisor {
     /// Mutable access to a cell's stage-2 translation table (memory
     /// fault injection into the MMU tables).
     pub fn cell_stage2_mut(&mut self, id: CellId) -> Option<&mut certify_arch::Stage2Table> {
+        // Table corruption can conjure or remove mappings underneath a
+        // cached direct window, so the caches must not outlive the
+        // handout (see `stage2_allows_cached`).
+        self.direct_win.clear();
         self.cells
             .get_mut(id.0 as usize)
             .and_then(|c| c.as_mut())
@@ -226,13 +284,25 @@ impl Hypervisor {
             return Err(HvError::InvalidArguments);
         }
         let mut blob = Vec::with_capacity(len as usize);
-        for i in 0..len {
+        // Word-wise copy for the aligned body, byte-wise for the tail
+        // (reads exactly the `len` bytes the byte-at-a-time copy did).
+        let mut offset = 0;
+        while offset + 4 <= len {
+            let word = machine
+                .ram()
+                .read32(addr + 4 + offset)
+                .map_err(|_| HvError::InvalidArguments)?;
+            blob.extend_from_slice(&word.to_le_bytes());
+            offset += 4;
+        }
+        while offset < len {
             blob.push(
                 machine
                     .ram()
-                    .read8(addr + 4 + i)
+                    .read8(addr + 4 + offset)
                     .map_err(|_| HvError::InvalidArguments)?,
             );
+            offset += 1;
         }
         Ok(blob)
     }
@@ -241,16 +311,24 @@ impl Hypervisor {
     // Handler-entry plumbing
     // ------------------------------------------------------------------
 
+    /// Counts the handler entry, emits the optional trace event and
+    /// runs the injection hook. Returns whether the hook touched the
+    /// register context — `false` means the context is exactly what
+    /// the caller set up, so corruption-dependent work can be skipped.
     fn enter_handler(
         &mut self,
         handler: HandlerKind,
         cpu: CpuId,
         step: u64,
         regs: &mut RegisterFile,
-    ) -> u64 {
-        let count = self.call_counts.entry((handler, cpu.0)).or_insert(0);
-        *count += 1;
-        let call_index = *count;
+    ) -> bool {
+        let slot = cpu.0 as usize * NUM_HANDLERS + handler.index();
+        if self.call_counts.len() <= slot {
+            self.call_counts
+                .resize((cpu.0 as usize + 1) * NUM_HANDLERS, 0);
+        }
+        self.call_counts[slot] += 1;
+        let call_index = self.call_counts[slot];
         if self.trace_handlers {
             self.events.push(HvEvent::HandlerEntry {
                 handler,
@@ -260,30 +338,46 @@ impl Hypervisor {
             });
         }
         if let Some(hook) = self.hook.as_mut() {
+            // Debug builds police the touched contract: a hook that
+            // mutates the context without `mark_touched` would have
+            // its corruption silently ignored by the fast paths.
+            #[cfg(debug_assertions)]
+            let snapshot = regs.clone();
             let mut ctx = HookCtx {
                 handler,
                 cpu,
                 call_index,
                 step,
                 regs,
+                touched: false,
             };
             hook.on_handler_entry(&mut ctx);
+            let touched = ctx.touched;
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                touched || *regs == snapshot,
+                "injection hook mutated the register context without \
+                 calling HookCtx::mark_touched"
+            );
+            touched
+        } else {
+            false
         }
-        call_index
     }
 
     /// Verifies the pointer-live registers against their expected
-    /// values; every mismatch makes the handler store through the
-    /// corrupted pointer. Returns `true` if any pointer was corrupt.
+    /// values (precomputed once per handler entry); every mismatch
+    /// makes the handler store through the corrupted pointer. Returns
+    /// `true` if any pointer was corrupt.
     fn check_pointers(
         &mut self,
         machine: &mut Machine,
         cpu: CpuId,
         regs: &RegisterFile,
-        cell: CellId,
+        expected_pointers: &[(Reg, u32); 5],
     ) -> bool {
         let mut corrupted = false;
-        for (reg, expected) in regconv::expected_pointers(cpu, cell) {
+        for &(reg, expected) in expected_pointers {
             let seen = regs.read(reg);
             if seen != expected {
                 corrupted = true;
@@ -383,6 +477,7 @@ impl Hypervisor {
         let detail = format!("[hyp] parking {cpu}: {reason}\n");
         machine.uart.write_str(&detail, step);
         self.events.push(HvEvent::CpuParked { cpu, reason, step });
+        self.evidence.record_park(cpu, reason);
         if let Some(owner) = self.cpu_owner(cpu) {
             if owner != ROOT_CELL {
                 let comm = if let Some(cell) = self
@@ -450,48 +545,59 @@ impl Hypervisor {
         regs.write(Reg::R1, arg1);
         regs.write(Reg::R2, arg2);
         let owner = self.cpu_owner(cpu);
+        let expected = regconv::expected_pointers(cpu, owner.unwrap_or(ROOT_CELL));
         if self.enabled {
-            let cell = owner.unwrap_or(ROOT_CELL);
-            for (reg, value) in regconv::expected_pointers(cpu, cell) {
+            for (reg, value) in expected {
                 regs.write(reg, value);
             }
         }
         regs.hsr = Syndrome::hvc(0).encode();
 
-        self.enter_handler(HandlerKind::ArchHandleHvc, cpu, step, &mut regs);
+        let touched = self.enter_handler(HandlerKind::ArchHandleHvc, cpu, step, &mut regs);
 
         // Pointer-integrity: only the installed hypervisor has live
-        // pointer state; the pre-enable loader path is minimal.
-        let result = if self.enabled
-            && self.check_pointers(machine, cpu, &regs, owner.unwrap_or(ROOT_CELL))
-        {
-            // The handler crashed through a wild pointer; the call
-            // fails without completing.
-            Err(HvError::InvalidArguments)
-        } else if self.panic.is_some() {
-            Err(HvError::NotPermitted)
-        } else {
-            let seen_code = regs.read(Reg::R0);
-            let seen_arg1 = regs.read(Reg::R1);
-            let seen_arg2 = regs.read(Reg::R2);
-            self.dispatch_hypercall(machine, cpu, seen_code, seen_arg1, seen_arg2)
-        };
+        // pointer state; the pre-enable loader path is minimal. An
+        // untouched context still holds the exact values written
+        // above, so the check is provably clean and skipped.
+        let result =
+            if touched && self.enabled && self.check_pointers(machine, cpu, &regs, &expected) {
+                // The handler crashed through a wild pointer; the call
+                // fails without completing.
+                Err(HvError::InvalidArguments)
+            } else if self.panic.is_some() {
+                Err(HvError::NotPermitted)
+            } else {
+                let seen_code = regs.read(Reg::R0);
+                let seen_arg1 = regs.read(Reg::R1);
+                let seen_arg2 = regs.read(Reg::R2);
+                self.dispatch_hypercall(machine, cpu, seen_code, seen_arg1, seen_arg2)
+            };
 
         let ret = match result {
             Ok(value) => value,
             Err(e) => e.code(),
         };
-        self.events.push(HvEvent::Hypercall {
-            cpu,
-            code: regs.read(Reg::R0),
-            result: ret,
-            step,
-        });
+        // Console-putc traffic is one hypercall per serial byte; its
+        // trace entries carry no classification signal (the bytes land
+        // in the UART capture), so they are only recorded when handler
+        // tracing is explicitly on.
+        let seen_code = regs.read(Reg::R0);
+        if self.trace_handlers || seen_code != hc::HVC_DEBUG_CONSOLE_PUTC {
+            self.events.push(HvEvent::Hypercall {
+                cpu,
+                code: seen_code,
+                result: ret,
+                step,
+            });
+        }
 
-        // Write back (possibly corrupted) guest-saved registers.
-        let guest_regs = &mut machine.cpu_mut(cpu).regs;
-        for reg in regconv::GUEST_SAVED {
-            guest_regs.write(reg, regs.read(reg));
+        // Write back (possibly corrupted) guest-saved registers — an
+        // untouched context holds the guest's own values already.
+        if touched {
+            let guest_regs = &mut machine.cpu_mut(cpu).regs;
+            for reg in regconv::GUEST_SAVED {
+                guest_regs.write(reg, regs.read(reg));
+            }
         }
 
         self.manifest_latent(cpu);
@@ -585,6 +691,7 @@ impl Hypervisor {
         for cpu in &config.root.cpus {
             self.cpu_owner[cpu.0 as usize] = Some(ROOT_CELL);
         }
+        self.ownership_epoch += 1;
         for irq in &config.root.irqs {
             machine.gic.enable(*irq);
             machine.gic.set_target(*irq, config.root.cpus[0]);
@@ -612,6 +719,7 @@ impl Hypervisor {
         self.enabled = false;
         self.cells.clear();
         self.cpu_owner.iter_mut().for_each(|o| *o = None);
+        self.ownership_epoch += 1;
         self.boot_entry.iter_mut().for_each(|b| *b = None);
         Ok(0)
     }
@@ -645,6 +753,7 @@ impl Hypervisor {
         for cell_cpu in &config.cpus {
             self.cpu_owner[cell_cpu.0 as usize] = Some(id);
         }
+        self.ownership_epoch += 1;
         let step = machine.now();
         let cell = Cell::new(id, config);
         if let Some(region) = cell.comm_region() {
@@ -807,6 +916,7 @@ impl Hypervisor {
             self.cpu_owner[cell_cpu.0 as usize] = Some(ROOT_CELL);
             self.boot_entry[cell_cpu.0 as usize] = None;
         }
+        self.ownership_epoch += 1;
         for irq in &irqs {
             machine.gic.clear_target(*irq);
             machine.gic.disable(*irq);
@@ -1003,7 +1113,7 @@ impl Hypervisor {
     /// to the bus (RAM or a direct-mapped device such as the root
     /// cell's UART); violations escalate through the trap path.
     pub fn guest_ram_write(&mut self, machine: &mut Machine, cpu: CpuId, addr: u32, value: u32) {
-        if self.stage2_allows(cpu, addr, true) {
+        if self.stage2_allows_cached(cpu, addr, true) {
             let _ = machine.write32(addr, value);
         } else {
             self.guest_mmio_write(machine, cpu, addr, value);
@@ -1012,10 +1122,99 @@ impl Hypervisor {
 
     /// A stage-2-checked direct read.
     pub fn guest_ram_read(&mut self, machine: &mut Machine, cpu: CpuId, addr: u32) -> u32 {
-        if self.stage2_allows(cpu, addr, false) {
+        if self.stage2_allows_cached(cpu, addr, false) {
             machine.read32(addr).unwrap_or(0)
         } else {
             self.guest_mmio_read(machine, cpu, addr)
+        }
+    }
+
+    /// [`Hypervisor::stage2_allows`] with a per-CPU one-entry cache of
+    /// the last sub-page direct window resolved through the region
+    /// list — console output hits the same device window byte after
+    /// byte, and the cache turns each repeat into two compares. The
+    /// cache is keyed on the ownership epoch, so any cell/CPU
+    /// reconfiguration invalidates it.
+    fn stage2_allows_cached(&mut self, cpu: CpuId, addr: u32, write: bool) -> bool {
+        let idx = cpu.0 as usize;
+        if let Some(win) = self.direct_win.get(idx) {
+            if win.epoch == self.ownership_epoch && addr >= win.base && addr < win.end {
+                return if write { win.write } else { win.read };
+            }
+        }
+        let Some(owner) = self.cpu_owner(cpu) else {
+            // Unmanaged CPU (hypervisor disabled): no second stage.
+            return !self.enabled;
+        };
+        let Some(cell) = self.cell(owner) else {
+            return false;
+        };
+        let kind = if write {
+            certify_arch::AccessKind::Write
+        } else {
+            certify_arch::AccessKind::Read
+        };
+        if cell.stage2().translate(addr, kind).is_ok() {
+            return true;
+        }
+        let mut windows = cell.config.regions.iter().filter(|r| {
+            r.contains_addr(addr)
+                && !r.flags.contains(MemFlags::IO)
+                && (r.base % certify_arch::mmu::PAGE_SIZE != 0
+                    || r.size % certify_arch::mmu::PAGE_SIZE != 0)
+        });
+        match (windows.next(), windows.next()) {
+            (None, _) => false,
+            (Some(_), Some(_)) => {
+                // Overlapping sub-page windows: a single window's
+                // flags cannot answer for the address, so defer to
+                // the pure per-access check and cache nothing.
+                self.stage2_allows(cpu, addr, write)
+            }
+            (Some(region), None) => {
+                let allowed = region.flags.contains(if write {
+                    MemFlags::WRITE
+                } else {
+                    MemFlags::READ
+                });
+                // The cache answers before consulting the stage-2
+                // table, so it may only hold windows that overlap no
+                // mapped page (otherwise a page-mapped permission
+                // would lose to the window's). Probe every page the
+                // window touches; skip caching on any overlap.
+                let page_mask = !(certify_arch::mmu::PAGE_SIZE - 1);
+                let end = region.base.wrapping_add(region.size);
+                let mut probe = region.base & page_mask;
+                let mut overlaps_mapped = false;
+                while probe < end {
+                    if !matches!(
+                        cell.stage2()
+                            .translate(probe.max(region.base), certify_arch::AccessKind::Read),
+                        Err(certify_arch::S2Fault::Translation { .. })
+                    ) {
+                        overlaps_mapped = true;
+                        break;
+                    }
+                    match probe.checked_add(certify_arch::mmu::PAGE_SIZE) {
+                        Some(next) => probe = next,
+                        None => break,
+                    }
+                }
+                if !overlaps_mapped {
+                    let win = DirectWin {
+                        base: region.base,
+                        end,
+                        read: region.flags.contains(MemFlags::READ),
+                        write: region.flags.contains(MemFlags::WRITE),
+                        epoch: self.ownership_epoch,
+                    };
+                    if self.direct_win.len() <= idx {
+                        self.direct_win.resize(idx + 1, DirectWin::default());
+                    }
+                    self.direct_win[idx] = win;
+                }
+                allowed
+            }
         }
     }
 
@@ -1084,17 +1283,18 @@ impl Hypervisor {
         regs.write(Reg::R0, far);
         regs.write(Reg::R1, syndrome.encode());
         regs.write(Reg::R2, data);
-        for (reg, value) in regconv::expected_pointers(cpu, owner) {
+        let expected = regconv::expected_pointers(cpu, owner);
+        for (reg, value) in expected {
             regs.write(reg, value);
         }
         regs.far = far;
         regs.hsr = syndrome.encode();
         regs.elr = entry_elr;
 
-        self.enter_handler(HandlerKind::ArchHandleTrap, cpu, step, &mut regs);
+        let touched = self.enter_handler(HandlerKind::ArchHandleTrap, cpu, step, &mut regs);
 
         let mut value = 0;
-        if self.check_pointers(machine, cpu, &regs, owner) {
+        if touched && self.check_pointers(machine, cpu, &regs, &expected) {
             // Handler crashed through a wild pointer; the emulation is
             // abandoned and the guest resumed. The damage is latent.
         } else if self.panic.is_none() {
@@ -1106,16 +1306,20 @@ impl Hypervisor {
         }
 
         // Exception return: restore (possibly corrupted) guest-saved
-        // registers and check the resume address.
-        {
-            let guest_regs = &mut machine.cpu_mut(cpu).regs;
-            for reg in regconv::GUEST_SAVED {
-                guest_regs.write(reg, regs.read(reg));
+        // registers and check the resume address. An untouched context
+        // still holds the guest's own registers and the entry PC, so
+        // both steps are no-ops.
+        if touched {
+            {
+                let guest_regs = &mut machine.cpu_mut(cpu).regs;
+                for reg in regconv::GUEST_SAVED {
+                    guest_regs.write(reg, regs.read(reg));
+                }
             }
-        }
-        let resume = regs.read(Reg::PC);
-        if resume != entry_elr {
-            self.resume_at_corrupted_pc(machine, cpu, resume);
+            let resume = regs.read(Reg::PC);
+            if resume != entry_elr {
+                self.resume_at_corrupted_pc(machine, cpu, resume);
+            }
         }
         value
     }
@@ -1195,6 +1399,7 @@ impl Hypervisor {
                 if !emulatable {
                     self.events
                         .push(HvEvent::AccessViolation { cpu, addr, step });
+                    self.evidence.record_violation(step);
                     self.park_cpu(
                         machine,
                         cpu,
@@ -1605,6 +1810,7 @@ mod tests {
             fn on_handler_entry(&mut self, ctx: &mut HookCtx<'_>) {
                 if ctx.handler == HandlerKind::ArchHandleHvc {
                     ctx.regs.flip_bit(Reg::R5, 3);
+                    ctx.mark_touched();
                 }
             }
         }
@@ -1635,6 +1841,7 @@ mod tests {
                 // Stack pointer replaced with an address in an
                 // unmapped hole of the physical map.
                 ctx.regs.write(Reg::R13, 0x0900_0000);
+                ctx.mark_touched();
             }
         }
         let (mut machine, mut hv) = enabled_system();
@@ -1654,6 +1861,7 @@ mod tests {
                 if ctx.handler == HandlerKind::ArchHandleTrap {
                     // Flip an EC bit of the syndrome in r1: 0x24 -> 0x25.
                     ctx.regs.flip_bit(Reg::R1, 26);
+                    ctx.mark_touched();
                 }
             }
         }
@@ -1679,6 +1887,7 @@ mod tests {
             fn on_handler_entry(&mut self, ctx: &mut HookCtx<'_>) {
                 if ctx.handler == HandlerKind::IrqchipHandleIrq {
                     ctx.regs.flip_bit(Reg::R0, 2);
+                    ctx.mark_touched();
                 }
             }
         }

@@ -14,6 +14,15 @@ use certify_hypervisor::GuestCtx;
 use std::fmt;
 
 /// A FreeRTOS-like kernel instance.
+///
+/// Scheduling state is maintained incrementally: per-priority ready
+/// lists (ordered least-recently-scheduled first) plus a list of
+/// blocked tasks, so each [`Rtos::run_slice`] touches only the blocked
+/// tasks and the head of the highest non-empty ready list instead of
+/// scanning every TCB twice. This is the kernel's contribution to the
+/// sub-millisecond campaign trial budget; the ordering it produces is
+/// bit-identical to the historical full-scan scheduler (asserted by
+/// the determinism suites).
 pub struct Rtos {
     name: String,
     tasks: Vec<Tcb>,
@@ -24,6 +33,20 @@ pub struct Rtos {
     schedule_seq: u64,
     /// Per-task last-scheduled stamp (parallel to `tasks`).
     last_scheduled: Vec<u64>,
+    /// Ready lists indexed by priority, each sorted by ascending
+    /// last-scheduled stamp (front = next to run at that priority).
+    ready: Vec<std::collections::VecDeque<TaskId>>,
+    /// Blocked tasks, sorted by task id — wake checks preserve the
+    /// historical whole-table scan order without visiting ready TCBs.
+    blocked: Vec<TaskId>,
+    /// Highest priority index that may hold a ready task (no list
+    /// above it is non-empty); lets the picker start its downward scan
+    /// at the action instead of the top.
+    top_ready: usize,
+    /// `(tick, queue version, sync version)` at the end of the last
+    /// wake scan; while unchanged, no blocked task's wait condition
+    /// can have become true and the scan is skipped.
+    wake_stamp: Option<(u64, u64, u64)>,
 }
 
 impl fmt::Debug for Rtos {
@@ -47,6 +70,10 @@ impl Rtos {
             tick: 0,
             schedule_seq: 0,
             last_scheduled: Vec::new(),
+            ready: Vec::new(),
+            blocked: Vec::new(),
+            top_ready: 0,
+            wake_stamp: None,
         }
     }
 
@@ -74,6 +101,7 @@ impl Rtos {
             code: Some(code),
         });
         self.last_scheduled.push(0);
+        self.enqueue_ready(id, priority);
         id
     }
 
@@ -142,15 +170,74 @@ impl Rtos {
         self.tick += 1;
     }
 
-    /// Wakes blocked tasks whose wait condition now holds. Pending
-    /// blocked sends are completed by the kernel (FreeRTOS copies the
-    /// item on wake).
-    fn wake_eligible(&mut self) {
-        for task in &mut self.tasks {
-            if task.state != TaskState::Blocked {
-                continue;
+    /// Inserts `id` into the ready list for `priority`, keeping the
+    /// list sorted by ascending last-scheduled stamp. Equal stamps only
+    /// occur for never-run tasks (stamp 0); inserting *before* equals
+    /// reproduces the historical scan's "last of equal candidates
+    /// wins" tie-break exactly.
+    fn enqueue_ready(&mut self, id: TaskId, priority: Priority) {
+        let slot = priority.0 as usize;
+        if self.ready.len() <= slot {
+            self.ready
+                .resize_with(slot + 1, std::collections::VecDeque::new);
+        }
+        self.top_ready = self.top_ready.max(slot);
+        let (ready, stamps) = (&mut self.ready, &self.last_scheduled);
+        let stamp = stamps[id.0 as usize];
+        let list = &mut ready[slot];
+        let pos = list.partition_point(|t| stamps[t.0 as usize] < stamp);
+        list.insert(pos, id);
+    }
+
+    /// Removes `id` from the ready list for `priority` (present by
+    /// invariant when the task's state is `Ready`).
+    fn dequeue_ready(&mut self, id: TaskId, priority: Priority) {
+        let list = &mut self.ready[priority.0 as usize];
+        if let Some(pos) = list.iter().position(|&t| t == id) {
+            list.remove(pos);
+        }
+    }
+
+    /// Pops the next task to run: the least-recently-scheduled head of
+    /// the highest non-empty ready list. Scans downward from the
+    /// `top_ready` hint.
+    fn pop_next(&mut self) -> Option<TaskId> {
+        let mut p = self.top_ready.min(self.ready.len().wrapping_sub(1));
+        loop {
+            if let Some(id) = self.ready.get_mut(p).and_then(|list| list.pop_front()) {
+                self.top_ready = p;
+                return Some(id);
             }
-            let wake = match task.block {
+            if p == 0 {
+                return None;
+            }
+            p -= 1;
+        }
+    }
+
+    /// Wakes blocked tasks whose wait condition now holds, moving them
+    /// to the ready lists. Pending blocked sends are completed by the
+    /// kernel (FreeRTOS copies the item on wake). The blocked list is
+    /// kept in task-id order, so deferred sends complete in the same
+    /// order the historical whole-table scan processed them.
+    ///
+    /// Wait conditions depend only on the kernel tick and the queue /
+    /// sync state, all of which carry change counters — while those
+    /// are unchanged since the last scan, the scan is skipped.
+    fn wake_eligible(&mut self) {
+        let stamp = (self.tick, self.queues.version(), self.sync.version());
+        if self.wake_stamp == Some(stamp) {
+            return;
+        }
+        // Record the *pre-scan* stamp: a deferred send completed during
+        // the scan bumps the queue version, so the next call re-scans —
+        // exactly like the historical one-pass-per-slice behaviour.
+        self.wake_stamp = Some(stamp);
+        let mut i = 0;
+        while i < self.blocked.len() {
+            let id = self.blocked[i];
+            let block = self.tasks[id.0 as usize].block;
+            let wake = match block {
                 Some(BlockReason::Delay(until)) => self.tick >= until,
                 Some(BlockReason::QueueRecv(q)) => self.queues.has_items(q),
                 Some(BlockReason::QueueSend(q, value)) => {
@@ -166,54 +253,61 @@ impl Rtos {
                 None => true,
             };
             if wake {
+                self.blocked.remove(i);
+                let task = &mut self.tasks[id.0 as usize];
                 task.state = TaskState::Ready;
                 task.block = None;
+                self.enqueue_ready(id, self.tasks[id.0 as usize].effective_priority());
+            } else {
+                i += 1;
             }
         }
     }
 
-    /// Picks the next task: highest *effective* priority (priority
-    /// inheritance included), least-recently scheduled.
-    fn pick(&self) -> Option<TaskId> {
-        self.tasks
-            .iter()
-            .filter(|t| t.state == TaskState::Ready && t.code.is_some())
-            .max_by(|a, b| {
-                a.effective_priority().cmp(&b.effective_priority()).then(
-                    // Older stamp wins: reverse comparison.
-                    self.last_scheduled[b.id.0 as usize].cmp(&self.last_scheduled[a.id.0 as usize]),
-                )
-            })
-            .map(|t| t.id)
-    }
-
     /// Runs one scheduling quantum: wakes eligible tasks, picks the
-    /// next one and executes one slice of it. Returns the task that
-    /// ran, or `None` if everything was blocked (the CPU would `WFI`).
+    /// next one (the least-recently-scheduled head of the highest
+    /// non-empty ready list — identical to the historical full scan
+    /// over (effective priority, last-scheduled stamp)) and executes
+    /// one slice of it. Returns the task that ran, or `None` if
+    /// everything was blocked (the CPU would `WFI`).
     pub fn run_slice(&mut self, ctx: &mut GuestCtx<'_>) -> Option<TaskId> {
         self.wake_eligible();
-        let id = self.pick()?;
-        self.schedule_seq += 1;
-        self.last_scheduled[id.0 as usize] = self.schedule_seq;
-
+        let id = self.pop_next()?;
         let idx = id.0 as usize;
-        let mut code = self.tasks[idx].code.take().expect("picked task has code");
-        self.tasks[idx].state = TaskState::Running;
+        self.schedule_seq += 1;
+        self.last_scheduled[idx] = self.schedule_seq;
 
         let result = {
+            // Split borrows: the task body runs against the queue/sync
+            // sets while its TCB stays in place (no Box take/put per
+            // slice on the campaign hot path).
+            let (tasks, queues, sync) = (&mut self.tasks, &mut self.queues, &mut self.sync);
+            let task = &mut tasks[idx];
+            task.state = TaskState::Running;
             let mut env = TaskEnv {
                 ctx,
                 tick: self.tick,
                 current: id,
-                queue_ops: &mut self.queues,
-                sync_ops: &mut self.sync,
+                queue_ops: queues,
+                sync_ops: sync,
             };
-            code.execute_slice(&mut env)
+            task.code
+                .as_mut()
+                .expect("picked task has code")
+                .execute_slice(&mut env)
         };
 
         let task = &mut self.tasks[idx];
         task.slices_run += 1;
-        task.code = Some(code);
+        // Fast path: an unboosted task that just yields goes straight
+        // to the back of its base-priority list — the overwhelmingly
+        // common slice (compute tasks round-robining).
+        if matches!(result, SliceResult::Yield) && task.boosted.is_none() {
+            task.state = TaskState::Ready;
+            let slot = task.priority.0 as usize;
+            self.ready[slot].push_back(id);
+            return Some(id);
+        }
         match result {
             SliceResult::Yield => task.state = TaskState::Ready,
             SliceResult::Delay(ticks) => {
@@ -236,8 +330,15 @@ impl Rtos {
                 let blocker_priority = task.effective_priority();
                 if let Some(holder) = self.sync.holder(m) {
                     let holder_tcb = &mut self.tasks[holder.0 as usize];
-                    if holder_tcb.effective_priority() < blocker_priority {
+                    let old_priority = holder_tcb.effective_priority();
+                    if old_priority < blocker_priority {
                         holder_tcb.boosted = Some(blocker_priority);
+                        // A boosted *ready* holder moves lists so the
+                        // scheduler sees the inherited priority.
+                        if self.tasks[holder.0 as usize].state == TaskState::Ready {
+                            self.dequeue_ready(holder, old_priority);
+                            self.enqueue_ready(holder, blocker_priority);
+                        }
                     }
                 }
             }
@@ -253,6 +354,26 @@ impl Rtos {
         // Disinheritance: drop the boost once the task holds no mutex.
         if self.tasks[idx].boosted.is_some() && !self.sync.holds_any(id) {
             self.tasks[idx].boosted = None;
+        }
+
+        // Re-file the task under its post-slice (and post-disinherit)
+        // effective priority. Its fresh stamp is the global maximum, so
+        // a ready re-file is a plain push to the back of the list.
+        match self.tasks[idx].state {
+            TaskState::Ready => {
+                let slot = self.tasks[idx].effective_priority().0 as usize;
+                if self.ready.len() <= slot {
+                    self.ready
+                        .resize_with(slot + 1, std::collections::VecDeque::new);
+                }
+                self.top_ready = self.top_ready.max(slot);
+                self.ready[slot].push_back(id);
+            }
+            TaskState::Blocked => {
+                let pos = self.blocked.partition_point(|&t| t < id);
+                self.blocked.insert(pos, id);
+            }
+            TaskState::Running | TaskState::Done => {}
         }
         Some(id)
     }

@@ -57,6 +57,10 @@ struct Queue {
 #[derive(Debug, Default)]
 pub struct QueueSet {
     queues: Vec<Queue>,
+    /// Bumped on every state change; the scheduler skips its blocked
+    /// wake scan while tick and the queue/sync versions are unchanged
+    /// (a blocked task's wait condition cannot have become true).
+    version: u64,
 }
 
 impl QueueSet {
@@ -87,6 +91,7 @@ impl QueueSet {
             Some(q) => {
                 q.items.push_back(value);
                 q.sent_total += 1;
+                self.version += 1;
                 SendOutcome::Sent
             }
         }
@@ -99,11 +104,17 @@ impl QueueSet {
             Some(q) => match q.items.pop_front() {
                 Some(v) => {
                     q.received_total += 1;
+                    self.version += 1;
                     RecvOutcome::Received(v)
                 }
                 None => RecvOutcome::Empty,
             },
         }
+    }
+
+    /// State-change counter (see the field doc).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Whether the queue has at least one item (a blocked receiver can

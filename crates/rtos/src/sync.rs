@@ -80,6 +80,10 @@ struct Semaphore {
 pub struct SyncSet {
     mutexes: Vec<Mutex>,
     semaphores: Vec<Semaphore>,
+    /// Bumped on every state change; the scheduler skips its blocked
+    /// wake scan while tick and the queue/sync versions are unchanged
+    /// (a blocked task's wait condition cannot have become true).
+    version: u64,
 }
 
 impl SyncSet {
@@ -117,6 +121,7 @@ impl SyncSet {
                 None => {
                     m.holder = Some(task);
                     m.acquisitions += 1;
+                    self.version += 1;
                     LockOutcome::Acquired
                 }
                 Some(holder) if holder == task => LockOutcome::AlreadyOwned,
@@ -133,10 +138,16 @@ impl SyncSet {
         match self.mutexes.get_mut(mutex.0 as usize) {
             Some(m) if m.holder == Some(task) => {
                 m.holder = None;
+                self.version += 1;
                 true
             }
             _ => false,
         }
+    }
+
+    /// State-change counter (see the field doc).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The current holder of `mutex`.
@@ -173,6 +184,7 @@ impl SyncSet {
             Some(s) if s.count == 0 => TakeOutcome::WouldBlock,
             Some(s) => {
                 s.count -= 1;
+                self.version += 1;
                 TakeOutcome::Taken
             }
         }
@@ -185,6 +197,7 @@ impl SyncSet {
         match self.semaphores.get_mut(sem.0 as usize) {
             Some(s) if s.count < s.max => {
                 s.count += 1;
+                self.version += 1;
                 true
             }
             _ => false,
