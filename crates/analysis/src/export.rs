@@ -141,6 +141,16 @@ impl<W: Write> CsvSink<W> {
         self.truncated_row_bytes
     }
 
+    /// The latched error, if any write has failed. Boundary runners
+    /// (a shard worker, a campaign driver) must consult this — or
+    /// call [`CsvSink::finish`] — after the run and fail loudly: a
+    /// latched sink has silently dropped every row since the error,
+    /// so treating the campaign as complete would report a truncated
+    /// export as a successful one.
+    pub fn latched_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
     /// Writes one full row, tracking how many bytes the writer
     /// actually accepted so a mid-row failure is distinguishable from
     /// a clean between-rows failure.
@@ -276,6 +286,47 @@ mod tests {
         // valid (if empty) CSV, and the error still surfaces.
         assert_eq!(sink.truncated_row_bytes(), 0);
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn latched_error_is_visible_at_the_boundary_before_finish() {
+        // A worker process must be able to decide its exit code from
+        // the sink state *without* consuming the sink: `latched_error`
+        // exposes the latch, and deliveries after the latch are
+        // dropped (rows() freezes) rather than partially written.
+        struct FailAfter {
+            budget: usize,
+        }
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::Error::other("disk full"));
+                }
+                let n = buf.len().min(self.budget);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let campaign = Campaign::new(Scenario::golden(800), 3, 5);
+        // Budget for the header plus roughly one row: the second row
+        // latches, the third is skipped entirely.
+        let mut sink = CsvSink::new(FailAfter {
+            budget: CSV_HEADER.len() + 40,
+        })
+        .unwrap();
+        assert!(sink.latched_error().is_none(), "clean sink has no latch");
+        campaign.run_streamed(&mut sink);
+        let error = sink.latched_error().expect("error must latch");
+        assert_eq!(error.to_string(), sink.latched_error().unwrap().to_string());
+        let rows_at_latch = sink.rows();
+        // Feeding more trials after the latch changes nothing.
+        campaign.run_streamed(&mut sink);
+        assert_eq!(sink.rows(), rows_at_latch, "post-latch rows must drop");
+        assert!(sink.finish().is_err(), "finish surfaces the same latch");
     }
 
     #[test]

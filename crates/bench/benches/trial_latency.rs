@@ -25,6 +25,7 @@
 //! Regenerate with `cargo bench -p certify_bench --bench
 //! trial_latency` (add `-- --fast` for the smoke configuration).
 
+use certify_bench::{json_number, resolve_baseline_path as resolve};
 use certify_core::campaign::Scenario;
 use certify_core::{MemFaultModel, MemTarget};
 use std::time::Instant;
@@ -104,29 +105,6 @@ fn measure(scenario: Scenario, rounds: usize, trials: usize) -> (f64, f64) {
         worst = worst.max(mean_us);
     }
     (best, worst)
-}
-
-/// Resolves a report path: cargo runs bench binaries from the package
-/// directory, but the committed baseline lives at the workspace root —
-/// so relative paths are anchored there.
-fn resolve(path: &str) -> std::path::PathBuf {
-    let path = std::path::Path::new(path);
-    if path.is_absolute() {
-        path.to_path_buf()
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(path)
-    }
-}
-
-/// Pulls `"key": value` out of a flat JSON report (the baseline file
-/// is emitted by this bench, so a scan is all the parsing it needs).
-fn json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let rest = &text[text.find(&needle)? + needle.len()..];
-    let end = rest.find([',', '}'])?;
-    rest[..end].trim().parse().ok()
 }
 
 fn main() {

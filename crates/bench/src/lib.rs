@@ -53,3 +53,27 @@ pub fn run_and_print_streamed(scenario: Scenario, trials: usize) -> CampaignStat
 pub fn banner(title: &str) {
     println!("\n==== {title} ====");
 }
+
+/// Pulls `"key": value` out of a flat JSON report (the committed
+/// `BENCH_*.json` baselines are emitted by the bench harnesses
+/// themselves, so a scan is all the parsing the gates need).
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Resolves a bench report path: cargo runs bench binaries from the
+/// package directory, but the committed `BENCH_*.json` baselines live
+/// at the workspace root — so relative paths are anchored there.
+pub fn resolve_baseline_path(path: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(path);
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(path)
+    }
+}

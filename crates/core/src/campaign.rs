@@ -31,7 +31,7 @@ use std::sync::{Arc, Condvar, Mutex};
 const MEM_SEED_OFFSET: u64 = 0x6d65_6d66; // "memf"
 
 /// A fully specified experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
     /// Scenario name (used in reports).
     pub name: String,
@@ -282,6 +282,16 @@ impl Campaign {
         &self.scenario
     }
 
+    /// Total number of trials in this campaign.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The base seed: trial `i` runs with seed `base_seed + i`.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
     /// Runs all trials sequentially, buffering every report.
     /// A thin [`CollectSink`] over [`Campaign::run_streamed`].
     pub fn run(&self) -> CampaignResult {
@@ -311,9 +321,43 @@ impl Campaign {
     /// as it completes (seed order, one resident report) and folding
     /// it into the returned [`CampaignStats`].
     pub fn run_streamed<S: TrialSink + ?Sized>(&self, sink: &mut S) -> CampaignStats {
+        self.run_range_streamed(0, self.trials, sink)
+    }
+
+    /// Runs the `len` trials starting at trial index `start_trial`
+    /// sequentially, delivering each report to `sink` under its
+    /// *global* sequence number and folding it into the returned
+    /// [`CampaignStats`].
+    ///
+    /// Trial `i` of a campaign is self-contained — seeded
+    /// `base_seed + i`, independent of every other trial — so any
+    /// sub-range runs exactly the trials the full campaign would:
+    /// concatenating the deliveries of a partition of `0..trials`
+    /// reproduces [`Campaign::run_streamed`] bit for bit, and merging
+    /// the per-range stats (in any order) with [`CampaignStats::merge`]
+    /// reproduces the full-run stats. This is the shard execution
+    /// primitive: a `certify-shard` worker runs one range and streams
+    /// the rows back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_trial + len` overflows or exceeds the
+    /// campaign's trial count.
+    pub fn run_range_streamed<S: TrialSink + ?Sized>(
+        &self,
+        start_trial: usize,
+        len: usize,
+        sink: &mut S,
+    ) -> CampaignStats {
+        let end = start_trial.checked_add(len).expect("trial range overflows");
+        assert!(
+            end <= self.trials,
+            "trial range [{start_trial}, {end}) exceeds campaign size {}",
+            self.trials
+        );
         let runner = self.scenario.runner();
         let mut stats = CampaignStats::new(self.scenario.name.clone());
-        for seq in 0..self.trials {
+        for seq in start_trial..end {
             let trial = runner.run_trial(self.base_seed + seq as u64);
             stats.record(&trial);
             sink.accept(seq, trial);
@@ -635,6 +679,33 @@ mod tests {
         let result = campaign.run();
         assert!(result.injected_trials() > 0, "register injector silent");
         assert!(result.mem_injected_trials() > 0, "memory injector silent");
+    }
+
+    #[test]
+    fn range_runs_concatenate_to_the_full_run() {
+        let campaign = Campaign::new(Scenario::e1_root_high(), 5, 30);
+        let mut full = Vec::new();
+        let full_stats = campaign.run_streamed(&mut |seq: usize, t: TrialResult| {
+            full.push((seq, t));
+        });
+        let mut pieces = Vec::new();
+        let mut merged = CampaignStats::new(campaign.scenario().name.clone());
+        for (start, len) in [(0, 2), (2, 2), (4, 1)] {
+            let stats =
+                campaign.run_range_streamed(start, len, &mut |seq: usize, t: TrialResult| {
+                    pieces.push((seq, t));
+                });
+            merged.merge(&stats);
+        }
+        assert_eq!(pieces, full, "concatenated ranges diverged");
+        assert_eq!(merged, full_stats, "merged range stats diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds campaign size")]
+    fn out_of_bounds_range_is_rejected() {
+        let campaign = Campaign::new(Scenario::golden(400), 3, 1);
+        campaign.run_range_streamed(2, 2, &mut crate::sink::NullSink);
     }
 
     #[test]

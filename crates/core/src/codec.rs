@@ -1,0 +1,883 @@
+//! Compact binary wire codec for campaign configuration and stats.
+//!
+//! The multi-process sharding tier (`certify-shard`) ships a campaign
+//! to worker processes and streams aggregates back; both directions
+//! need a *real* serialized form, not the inert derive markers of the
+//! vendored serde stand-in. This module is that form: a small
+//! hand-rolled, dependency-free binary codec — length-prefixed
+//! strings and sequences, little-endian fixed-width integers, one tag
+//! byte per enum variant — with a [`Wire`] impl for every type a
+//! shard handshake or stats frame carries: the full [`Scenario`]
+//! (management script, register and memory injection specs) and
+//! [`CampaignStats`].
+//!
+//! Decoding is total: malformed input yields a [`DecodeError`], never
+//! a panic, so a corrupted or malicious peer cannot take down a
+//! coordinator. Round-trip identity (`decode(encode(x)) == x`) is
+//! pinned by unit tests here and by proptests in the shard crate.
+
+use crate::classify::Outcome;
+use crate::fault::FaultModel;
+use crate::memfault::{MemFaultModel, MemRegionKind, MemTarget};
+use crate::spec::{InjectionSpec, InjectionWindow, MemorySpec};
+use crate::stats::{CampaignStats, CountSummary};
+use crate::Scenario;
+use certify_arch::{CpuId, Reg};
+use certify_guest_linux::{MgmtOp, MgmtScript};
+use certify_hypervisor::HandlerKind;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// An enum tag byte had no matching variant.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A structurally valid value violated a type invariant (empty
+    /// target set, zero rate, inverted window, …).
+    Invalid {
+        /// What invariant failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { what } => write!(f, "input truncated decoding {what}"),
+            DecodeError::BadTag { what, tag } => write!(f, "unknown tag {tag} decoding {what}"),
+            DecodeError::Invalid { what } => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over the bytes being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { what });
+        }
+        let bytes = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(bytes)
+    }
+
+    /// Errors unless every byte was consumed — a frame payload must
+    /// not carry trailing garbage.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Invalid {
+                what: "trailing bytes after value",
+            })
+        }
+    }
+}
+
+/// Decodes one `T` from the whole of `buf` (no trailing bytes).
+pub fn decode_exact<T: Wire>(buf: &[u8]) -> Result<T, DecodeError> {
+    let mut reader = Reader::new(buf);
+    let value = T::decode(&mut reader)?;
+    reader.finish()?;
+    Ok(value)
+}
+
+/// Encodes `value` into a fresh buffer.
+pub fn encode_to_vec<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// A type with a self-contained binary wire form.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value, advancing the reader past it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+macro_rules! int_wire {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<$t, DecodeError> {
+                let bytes = r.take(std::mem::size_of::<$t>(), stringify!($t))?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+int_wire!(u8, u16, u32, u64, i64);
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+        usize::try_from(u64::decode(r)?).map_err(|_| DecodeError::Invalid {
+            what: "usize out of range",
+        })
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<bool, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<String, DecodeError> {
+        let len = usize::decode(r)?;
+        let bytes = r.take(len, "string body")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Invalid {
+            what: "string is not UTF-8",
+        })
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Option<T>, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Vec<T>, DecodeError> {
+        let len = usize::decode(r)?;
+        // An attacker-supplied length must not pre-allocate
+        // unboundedly; the reader cannot hold more items than bytes.
+        let mut items = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Wire + Ord> Wire for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<BTreeSet<T>, DecodeError> {
+        let len = usize::decode(r)?;
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(T::decode(r)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for (key, value) in self {
+            key.encode(out);
+            value.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<BTreeMap<K, V>, DecodeError> {
+        let len = usize::decode(r)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let key = K::decode(r)?;
+            let value = V::decode(r)?;
+            map.insert(key, value);
+        }
+        Ok(map)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<(A, B), DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+// ---- foreign scalar types ------------------------------------------------
+
+impl Wire for CpuId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<CpuId, DecodeError> {
+        Ok(CpuId(u32::decode(r)?))
+    }
+}
+
+impl Wire for Reg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.index() as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Reg, DecodeError> {
+        let tag = u8::decode(r)?;
+        Reg::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(DecodeError::BadTag { what: "Reg", tag })
+    }
+}
+
+impl Wire for HandlerKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.index() as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<HandlerKind, DecodeError> {
+        let tag = u8::decode(r)?;
+        HandlerKind::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(DecodeError::BadTag {
+                what: "HandlerKind",
+                tag,
+            })
+    }
+}
+
+impl Wire for Outcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag = Outcome::ALL
+            .iter()
+            .position(|o| o == self)
+            .expect("Outcome::ALL is exhaustive") as u8;
+        out.push(tag);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Outcome, DecodeError> {
+        let tag = u8::decode(r)?;
+        Outcome::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(DecodeError::BadTag {
+                what: "Outcome",
+                tag,
+            })
+    }
+}
+
+// ---- management scripts --------------------------------------------------
+
+impl Wire for MgmtOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MgmtOp::Delay(n) => {
+                out.push(0);
+                n.encode(out);
+            }
+            MgmtOp::PollInfo => out.push(1),
+            MgmtOp::StageSystemConfig => out.push(2),
+            MgmtOp::Enable => out.push(3),
+            MgmtOp::RequestCpuOffline(cpu) => {
+                out.push(4);
+                cpu.encode(out);
+            }
+            MgmtOp::WaitCpuParked(cpu) => {
+                out.push(5);
+                cpu.encode(out);
+            }
+            MgmtOp::StageCellConfig => out.push(6),
+            MgmtOp::CreateCell => out.push(7),
+            MgmtOp::LoadCell => out.push(8),
+            MgmtOp::StartCell => out.push(9),
+            MgmtOp::RunFor(n) => {
+                out.push(10);
+                n.encode(out);
+            }
+            MgmtOp::QueryCellState => out.push(11),
+            MgmtOp::ShutdownCell => out.push(12),
+            MgmtOp::DestroyCell => out.push(13),
+            MgmtOp::ArmWatchdog => out.push(14),
+            MgmtOp::MonitorFor { steps, window } => {
+                out.push(15);
+                steps.encode(out);
+                window.encode(out);
+            }
+            MgmtOp::Restart(index) => {
+                out.push(16);
+                index.encode(out);
+            }
+            MgmtOp::Halt => out.push(17),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<MgmtOp, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => MgmtOp::Delay(u64::decode(r)?),
+            1 => MgmtOp::PollInfo,
+            2 => MgmtOp::StageSystemConfig,
+            3 => MgmtOp::Enable,
+            4 => MgmtOp::RequestCpuOffline(u32::decode(r)?),
+            5 => MgmtOp::WaitCpuParked(u32::decode(r)?),
+            6 => MgmtOp::StageCellConfig,
+            7 => MgmtOp::CreateCell,
+            8 => MgmtOp::LoadCell,
+            9 => MgmtOp::StartCell,
+            10 => MgmtOp::RunFor(u64::decode(r)?),
+            11 => MgmtOp::QueryCellState,
+            12 => MgmtOp::ShutdownCell,
+            13 => MgmtOp::DestroyCell,
+            14 => MgmtOp::ArmWatchdog,
+            15 => MgmtOp::MonitorFor {
+                steps: u64::decode(r)?,
+                window: u64::decode(r)?,
+            },
+            16 => MgmtOp::Restart(usize::decode(r)?),
+            17 => MgmtOp::Halt,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "MgmtOp",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for MgmtScript {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.ops.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<MgmtScript, DecodeError> {
+        Ok(MgmtScript {
+            name: String::decode(r)?,
+            ops: Vec::decode(r)?,
+        })
+    }
+}
+
+// ---- injection specifications --------------------------------------------
+
+impl Wire for InjectionWindow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.start.encode(out);
+        self.end.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<InjectionWindow, DecodeError> {
+        let start = u64::decode(r)?;
+        let end = u64::decode(r)?;
+        if start >= end {
+            return Err(DecodeError::Invalid {
+                what: "injection window is empty",
+            });
+        }
+        Ok(InjectionWindow { start, end })
+    }
+}
+
+impl Wire for FaultModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FaultModel::SingleBitFlip { pool } => {
+                out.push(0);
+                pool.encode(out);
+            }
+            FaultModel::MultiRegisterFlip { regs } => {
+                out.push(1);
+                regs.encode(out);
+            }
+            FaultModel::DoubleBitFlip { pool } => {
+                out.push(2);
+                pool.encode(out);
+            }
+            FaultModel::RegisterZero { pool } => {
+                out.push(3);
+                pool.encode(out);
+            }
+            FaultModel::RegisterRandom { pool } => {
+                out.push(4);
+                pool.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<FaultModel, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => FaultModel::SingleBitFlip {
+                pool: Vec::decode(r)?,
+            },
+            1 => FaultModel::MultiRegisterFlip {
+                regs: Vec::decode(r)?,
+            },
+            2 => FaultModel::DoubleBitFlip {
+                pool: Vec::decode(r)?,
+            },
+            3 => FaultModel::RegisterZero {
+                pool: Vec::decode(r)?,
+            },
+            4 => FaultModel::RegisterRandom {
+                pool: Vec::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "FaultModel",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for InjectionSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.targets.encode(out);
+        self.cpu_filter.encode(out);
+        self.rate.encode(out);
+        self.model.encode(out);
+        self.max_injections.encode(out);
+        self.phase_jitter.encode(out);
+        self.time_trigger.encode(out);
+        self.windows.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<InjectionSpec, DecodeError> {
+        let spec = InjectionSpec {
+            targets: BTreeSet::decode(r)?,
+            cpu_filter: Option::decode(r)?,
+            rate: u64::decode(r)?,
+            model: FaultModel::decode(r)?,
+            max_injections: Option::decode(r)?,
+            phase_jitter: bool::decode(r)?,
+            time_trigger: Option::decode(r)?,
+            windows: Vec::decode(r)?,
+        };
+        if spec.targets.is_empty() {
+            return Err(DecodeError::Invalid {
+                what: "injection spec has no targets",
+            });
+        }
+        if spec.rate == 0 {
+            return Err(DecodeError::Invalid {
+                what: "injection spec rate is zero",
+            });
+        }
+        if spec.time_trigger == Some(0) {
+            return Err(DecodeError::Invalid {
+                what: "injection spec time trigger is zero",
+            });
+        }
+        Ok(spec)
+    }
+}
+
+// ---- memory fault specifications -----------------------------------------
+
+impl Wire for MemRegionKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MemRegionKind::RootRam => out.push(0),
+            MemRegionKind::NonRootRam => out.push(1),
+            MemRegionKind::Ivshmem => out.push(2),
+            MemRegionKind::CommRegion => out.push(3),
+            MemRegionKind::Stage2Tables => out.push(4),
+            MemRegionKind::Custom { base, size } => {
+                out.push(5);
+                base.encode(out);
+                size.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<MemRegionKind, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => MemRegionKind::RootRam,
+            1 => MemRegionKind::NonRootRam,
+            2 => MemRegionKind::Ivshmem,
+            3 => MemRegionKind::CommRegion,
+            4 => MemRegionKind::Stage2Tables,
+            5 => MemRegionKind::Custom {
+                base: u32::decode(r)?,
+                size: u32::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "MemRegionKind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for MemTarget {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.regions().to_vec().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<MemTarget, DecodeError> {
+        let regions: Vec<MemRegionKind> = Vec::decode(r)?;
+        if regions.is_empty() {
+            return Err(DecodeError::Invalid {
+                what: "mem target has no regions",
+            });
+        }
+        // Re-check `MemTarget::new`'s span invariants without its
+        // panics: the decoder must reject, not abort the process.
+        for region in &regions {
+            let (base, size) = region.span();
+            if size < 4 || base.checked_add(size - 1).is_none() {
+                return Err(DecodeError::Invalid {
+                    what: "mem target region span is unusable",
+                });
+            }
+        }
+        Ok(MemTarget::new(regions))
+    }
+}
+
+impl Wire for MemFaultModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MemFaultModel::SingleBitFlip => out.push(0),
+            MemFaultModel::DoubleBitFlip => out.push(1),
+            MemFaultModel::WordStuckAt { value } => {
+                out.push(2);
+                value.encode(out);
+            }
+            MemFaultModel::PageBurst { words } => {
+                out.push(3);
+                words.encode(out);
+            }
+            MemFaultModel::DescriptorInvalidate => out.push(4),
+            MemFaultModel::CommStateCorrupt => out.push(5),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<MemFaultModel, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => MemFaultModel::SingleBitFlip,
+            1 => MemFaultModel::DoubleBitFlip,
+            2 => MemFaultModel::WordStuckAt {
+                value: u32::decode(r)?,
+            },
+            3 => MemFaultModel::PageBurst {
+                words: u32::decode(r)?,
+            },
+            4 => MemFaultModel::DescriptorInvalidate,
+            5 => MemFaultModel::CommStateCorrupt,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "MemFaultModel",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for MemorySpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.targets.encode(out);
+        self.cpu_filter.encode(out);
+        self.rate.encode(out);
+        self.model.encode(out);
+        self.target.encode(out);
+        self.max_injections.encode(out);
+        self.phase_jitter.encode(out);
+        self.windows.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<MemorySpec, DecodeError> {
+        let spec = MemorySpec {
+            targets: BTreeSet::decode(r)?,
+            cpu_filter: Option::decode(r)?,
+            rate: u64::decode(r)?,
+            model: MemFaultModel::decode(r)?,
+            target: MemTarget::decode(r)?,
+            max_injections: Option::decode(r)?,
+            phase_jitter: bool::decode(r)?,
+            windows: Vec::decode(r)?,
+        };
+        if spec.targets.is_empty() {
+            return Err(DecodeError::Invalid {
+                what: "memory spec has no targets",
+            });
+        }
+        if spec.rate == 0 {
+            return Err(DecodeError::Invalid {
+                what: "memory spec rate is zero",
+            });
+        }
+        Ok(spec)
+    }
+}
+
+// ---- the full scenario ---------------------------------------------------
+
+impl Wire for Scenario {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.script.encode(out);
+        self.spec.encode(out);
+        self.mem_spec.encode(out);
+        self.steps.encode(out);
+        self.rtos_heartbeat.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Scenario, DecodeError> {
+        Ok(Scenario {
+            name: String::decode(r)?,
+            script: MgmtScript::decode(r)?,
+            spec: Option::decode(r)?,
+            mem_spec: Option::decode(r)?,
+            steps: u64::decode(r)?,
+            rtos_heartbeat: bool::decode(r)?,
+        })
+    }
+}
+
+// ---- campaign statistics -------------------------------------------------
+
+impl Wire for CountSummary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.min.encode(out);
+        self.max.encode(out);
+        self.total.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<CountSummary, DecodeError> {
+        Ok(CountSummary {
+            min: usize::decode(r)?,
+            max: usize::decode(r)?,
+            total: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for CampaignStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.scenario_name.encode(out);
+        self.trials.encode(out);
+        self.distribution.encode(out);
+        self.injected_trials.encode(out);
+        self.mem_injected_trials.encode(out);
+        self.mem_region_distribution.encode(out);
+        self.injections.encode(out);
+        self.mem_injections.encode(out);
+        self.watchdog_detected.encode(out);
+        self.watchdog_expiry_sum.encode(out);
+        self.monitor_detected.encode(out);
+        self.monitor_alarms_total.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<CampaignStats, DecodeError> {
+        Ok(CampaignStats {
+            scenario_name: String::decode(r)?,
+            trials: usize::decode(r)?,
+            distribution: BTreeMap::decode(r)?,
+            injected_trials: usize::decode(r)?,
+            mem_injected_trials: usize::decode(r)?,
+            mem_region_distribution: BTreeMap::decode(r)?,
+            injections: CountSummary::decode(r)?,
+            mem_injections: CountSummary::decode(r)?,
+            watchdog_detected: usize::decode(r)?,
+            watchdog_expiry_sum: u64::decode(r)?,
+            monitor_detected: usize::decode(r)?,
+            monitor_alarms_total: usize::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use crate::sink::NullSink;
+
+    fn round_trip<T: Wire + PartialEq + fmt::Debug>(value: &T) {
+        let bytes = encode_to_vec(value);
+        let back: T = decode_exact(&bytes).expect("decode");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn every_scenario_preset_round_trips() {
+        for scenario in [
+            Scenario::golden(1500),
+            Scenario::e1_root_high(),
+            Scenario::e2_nonroot_high(),
+            Scenario::e2_boot_window(),
+            Scenario::e3_fig3(),
+            Scenario::e5a_watchdog(),
+            Scenario::e5b_monitor(),
+            Scenario::e6_memory(MemFaultModel::page_burst(), MemTarget::all()),
+            Scenario::e7_mixed(),
+        ] {
+            round_trip(&scenario);
+        }
+    }
+
+    #[test]
+    fn specs_with_every_knob_round_trip() {
+        let spec = InjectionSpec::e3_nonroot_trap_medium()
+            .with_rate(7)
+            .with_max_injections(3)
+            .with_phase_jitter()
+            .with_time_trigger(19)
+            .with_window(10, 20)
+            .with_window(50, 60)
+            .with_model(FaultModel::DoubleBitFlip {
+                pool: vec![Reg::R0, Reg::PC],
+            });
+        round_trip(&spec);
+
+        let mem = MemorySpec::e6_memory(
+            MemFaultModel::WordStuckAt { value: 0xdead_beef },
+            MemTarget::new([
+                MemRegionKind::CommRegion,
+                MemRegionKind::Custom {
+                    base: 0x1000,
+                    size: 0x100,
+                },
+            ]),
+        )
+        .with_rate(11)
+        .with_phase_jitter()
+        .with_max_injections(9)
+        .with_window(100, 200);
+        round_trip(&mem);
+    }
+
+    #[test]
+    fn campaign_stats_round_trip() {
+        let stats = Campaign::new(Scenario::e1_root_high(), 5, 41).run_streamed(&mut NullSink);
+        round_trip(&stats);
+        round_trip(&CampaignStats::new("empty"));
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = encode_to_vec(&Scenario::e3_fig3());
+        for len in 0..bytes.len() {
+            let err = decode_exact::<Scenario>(&bytes[..len]).expect_err("truncated must fail");
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&Scenario::e3_fig3());
+        bytes.push(0);
+        assert_eq!(
+            decode_exact::<Scenario>(&bytes),
+            Err(DecodeError::Invalid {
+                what: "trailing bytes after value"
+            })
+        );
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert!(matches!(
+            decode_exact::<Outcome>(&[99]),
+            Err(DecodeError::BadTag {
+                what: "Outcome",
+                tag: 99
+            })
+        ));
+        assert!(matches!(
+            decode_exact::<Reg>(&[16]),
+            Err(DecodeError::BadTag { what: "Reg", .. })
+        ));
+        assert!(matches!(
+            decode_exact::<bool>(&[7]),
+            Err(DecodeError::BadTag { what: "bool", .. })
+        ));
+    }
+
+    #[test]
+    fn invariant_violations_are_rejected() {
+        // An inverted window.
+        let mut bytes = Vec::new();
+        20u64.encode(&mut bytes);
+        10u64.encode(&mut bytes);
+        assert!(decode_exact::<InjectionWindow>(&bytes).is_err());
+
+        // A spec whose target set is empty.
+        let mut spec = InjectionSpec::e1_root_high();
+        spec.targets.clear();
+        let bytes = encode_to_vec(&spec);
+        assert_eq!(
+            decode_exact::<InjectionSpec>(&bytes),
+            Err(DecodeError::Invalid {
+                what: "injection spec has no targets"
+            })
+        );
+
+        // A memory target with an empty region list.
+        let bytes = encode_to_vec(&Vec::<MemRegionKind>::new());
+        assert!(decode_exact::<MemTarget>(&bytes).is_err());
+    }
+
+    #[test]
+    fn outcome_tags_are_stable() {
+        // The wire tag is the index in `Outcome::ALL`; reordering that
+        // array is a protocol break, which this pin makes loud.
+        assert_eq!(encode_to_vec(&Outcome::PanicPark), vec![0]);
+        assert_eq!(encode_to_vec(&Outcome::Correct), vec![6]);
+    }
+}

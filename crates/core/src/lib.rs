@@ -38,6 +38,9 @@
 //!   stock sinks;
 //! * [`stats`] — [`stats::CampaignStats`], the online constant-size
 //!   campaign aggregates;
+//! * [`codec`] — the hand-rolled binary wire codec that ships
+//!   scenarios to, and stats back from, `certify-shard` worker
+//!   processes;
 //! * [`profiler`] — golden-run profiling that ranks handler
 //!   activations and (re)derives the paper's three injection points.
 //!
@@ -57,6 +60,7 @@
 
 pub mod campaign;
 pub mod classify;
+pub mod codec;
 pub mod fault;
 pub mod injector;
 pub mod memfault;
@@ -69,6 +73,7 @@ pub mod system;
 
 pub use campaign::{Campaign, CampaignResult, Scenario, TrialResult, TrialRunner};
 pub use classify::{classify, Outcome, RunReport};
+pub use codec::{decode_exact, encode_to_vec, DecodeError, Reader, Wire};
 pub use fault::{AppliedFault, FaultModel};
 pub use injector::{InjectionRecord, Injector};
 pub use memfault::{AppliedMemFault, MemFaultModel, MemFaultSkip, MemRegionKind, MemTarget};

@@ -1,0 +1,16 @@
+//! The shard worker executable: one handshake in on stdin, one seed
+//! range of trial rows + stats out on stdout. Spawned by
+//! `certify_shard::coordinator::run_sharded`; exits non-zero on a bad
+//! handshake (2) or a failed result stream (3) so the coordinator can
+//! tell a completed shard from a truncated one.
+
+use std::io::{self, BufWriter};
+
+fn main() {
+    let stdin = io::stdin().lock();
+    let stdout = BufWriter::new(io::stdout().lock());
+    if let Err(error) = certify_shard::run_worker(stdin, stdout) {
+        eprintln!("shard_worker: {error}");
+        std::process::exit(error.exit_code());
+    }
+}

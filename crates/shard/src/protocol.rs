@@ -1,0 +1,449 @@
+//! The shard wire protocol: versioned, length-prefixed, CRC-checked
+//! frames.
+//!
+//! A sharded campaign is one coordinator process and N worker
+//! processes connected by byte pipes (the workers' stdin/stdout).
+//! Everything crossing a pipe is a [`Frame`]:
+//!
+//! ```text
+//!   [len: u32 LE] [kind: u8 | payload …] [crc32: u32 LE]
+//!                  └──── len bytes ────┘
+//! ```
+//!
+//! `len` counts the kind byte plus the payload; the CRC (IEEE 802.3
+//! polynomial) covers exactly those bytes, so a frame torn by a dying
+//! worker or corrupted in flight is detected before its payload is
+//! interpreted. Payloads use the [`certify_core::codec`] binary
+//! encoding and must decode *exactly* (no trailing bytes).
+//!
+//! The conversation is fixed: the coordinator sends one
+//! [`Frame::Handshake`] (magic + protocol version + the full
+//! [`Scenario`] + the shard's trial range) down the worker's stdin;
+//! the worker streams [`Frame::TrialRow`] frames (one CSV row per
+//! trial, in trial order) up its stdout, interleaved with periodic
+//! [`Frame::Stats`] progress snapshots, and finishes with one
+//! [`Frame::Done`] carrying the shard's authoritative
+//! [`CampaignStats`]. Anything else — wrong first frame, out-of-order
+//! rows, CRC mismatch, EOF before `Done` — is a protocol violation
+//! the coordinator treats as a dead shard.
+
+use certify_core::codec::{decode_exact, DecodeError, Reader, Wire};
+use certify_core::{CampaignStats, Scenario};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Handshake magic: "CSHD".
+pub const MAGIC: u32 = 0x4353_4844;
+
+/// Protocol version carried in every handshake. Bump on any change to
+/// the frame layout or payload encodings.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on `len`: no legal frame is anywhere near this large,
+/// so a longer prefix means a corrupt or hostile stream — reject it
+/// instead of allocating gigabytes.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+const KIND_HANDSHAKE: u8 = 1;
+const KIND_TRIAL_ROW: u8 = 2;
+const KIND_STATS: u8 = 3;
+const KIND_DONE: u8 = 4;
+
+/// The coordinator → worker job description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handshake {
+    /// The scenario every trial runs.
+    pub scenario: Scenario,
+    /// The campaign's base seed (trial `i` is seeded `base_seed + i`).
+    pub base_seed: u64,
+    /// First (global) trial index of this shard.
+    pub start_trial: u64,
+    /// Number of trials in this shard.
+    pub len: u64,
+    /// Emit a [`Frame::Stats`] snapshot every this many rows
+    /// (0 = never).
+    pub stats_every: u64,
+}
+
+impl Wire for Handshake {
+    fn encode(&self, out: &mut Vec<u8>) {
+        MAGIC.encode(out);
+        VERSION.encode(out);
+        self.scenario.encode(out);
+        self.base_seed.encode(out);
+        self.start_trial.encode(out);
+        self.len.encode(out);
+        self.stats_every.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Handshake, DecodeError> {
+        let magic = u32::decode(r)?;
+        if magic != MAGIC {
+            return Err(DecodeError::Invalid {
+                what: "handshake magic mismatch",
+            });
+        }
+        let version = u16::decode(r)?;
+        if version != VERSION {
+            return Err(DecodeError::Invalid {
+                what: "protocol version mismatch",
+            });
+        }
+        Ok(Handshake {
+            scenario: Scenario::decode(r)?,
+            base_seed: u64::decode(r)?,
+            start_trial: u64::decode(r)?,
+            len: u64::decode(r)?,
+            stats_every: u64::decode(r)?,
+        })
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Coordinator → worker: the job (sent exactly once, first).
+    Handshake(Handshake),
+    /// Worker → coordinator: one finished trial's CSV row bytes,
+    /// tagged with its *global* trial sequence number.
+    TrialRow {
+        /// Global trial index (`base_seed + seq` was the seed).
+        seq: u64,
+        /// The rendered CSV row, including the trailing newline.
+        row: Vec<u8>,
+    },
+    /// Worker → coordinator: periodic progress snapshot.
+    Stats {
+        /// Rows streamed so far.
+        rows: u64,
+        /// Stats over the rows streamed so far.
+        stats: CampaignStats,
+    },
+    /// Worker → coordinator: clean shutdown. The stats cover the
+    /// shard's whole range and are what the coordinator merges.
+    Done {
+        /// Total rows streamed.
+        rows: u64,
+        /// The shard's final stats.
+        stats: CampaignStats,
+    },
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Handshake(_) => KIND_HANDSHAKE,
+            Frame::TrialRow { .. } => KIND_TRIAL_ROW,
+            Frame::Stats { .. } => KIND_STATS,
+            Frame::Done { .. } => KIND_DONE,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Handshake(_) => "handshake",
+            Frame::TrialRow { .. } => "trial-row",
+            Frame::Stats { .. } => "stats",
+            Frame::Done { .. } => "done",
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying pipe failed (or ended mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversize {
+        /// The claimed frame length.
+        len: u32,
+    },
+    /// The frame body did not match its CRC.
+    BadCrc {
+        /// CRC computed over the received body.
+        computed: u32,
+        /// CRC carried by the frame.
+        carried: u32,
+    },
+    /// The kind byte named no known frame type.
+    UnknownKind(u8),
+    /// The payload failed to decode (includes magic/version
+    /// mismatches, which surface as handshake decode failures).
+    Decode(DecodeError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::Oversize { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME} cap")
+            }
+            ProtocolError::BadCrc { computed, carried } => {
+                write!(
+                    f,
+                    "frame crc mismatch: computed {computed:#010x}, carried {carried:#010x}"
+                )
+            }
+            ProtocolError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
+            ProtocolError::Decode(e) => write!(f, "payload decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> ProtocolError {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ProtocolError {
+    fn from(e: DecodeError) -> ProtocolError {
+        ProtocolError::Decode(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), the CRC of zip/ethernet/png.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Writes one frame (length prefix, body, CRC). Does not flush.
+pub fn write_frame<W: Write + ?Sized>(out: &mut W, frame: &Frame) -> io::Result<()> {
+    let mut body = vec![frame.kind()];
+    match frame {
+        Frame::Handshake(handshake) => handshake.encode(&mut body),
+        Frame::TrialRow { seq, row } => {
+            seq.encode(&mut body);
+            row.encode(&mut body);
+        }
+        Frame::Stats { rows, stats } | Frame::Done { rows, stats } => {
+            rows.encode(&mut body);
+            stats.encode(&mut body);
+        }
+    }
+    let len = u32::try_from(body.len()).expect("frame body fits u32");
+    assert!(len <= MAX_FRAME, "frame body exceeds MAX_FRAME");
+    out.write_all(&len.to_le_bytes())?;
+    out.write_all(&body)?;
+    out.write_all(&crc32(&body).to_le_bytes())
+}
+
+/// Reads one frame. `Ok(None)` is a clean end of stream (EOF exactly
+/// at a frame boundary); EOF anywhere inside a frame is an error.
+pub fn read_frame<R: Read + ?Sized>(input: &mut R) -> Result<Option<Frame>, ProtocolError> {
+    // The length prefix: distinguish clean EOF (zero bytes read) from
+    // a torn prefix.
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match input.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ProtocolError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 || len > MAX_FRAME {
+        return Err(ProtocolError::Oversize { len });
+    }
+    let mut body = vec![0u8; len as usize];
+    input.read_exact(&mut body)?;
+    let mut crc_bytes = [0u8; 4];
+    input.read_exact(&mut crc_bytes)?;
+    let carried = u32::from_le_bytes(crc_bytes);
+    let computed = crc32(&body);
+    if computed != carried {
+        return Err(ProtocolError::BadCrc { computed, carried });
+    }
+
+    let (kind, payload) = (body[0], &body[1..]);
+    let frame = match kind {
+        KIND_HANDSHAKE => Frame::Handshake(decode_exact(payload)?),
+        KIND_TRIAL_ROW => {
+            let mut reader = Reader::new(payload);
+            let seq = u64::decode(&mut reader)?;
+            let row = Vec::decode(&mut reader)?;
+            reader.finish()?;
+            Frame::TrialRow { seq, row }
+        }
+        KIND_STATS | KIND_DONE => {
+            let mut reader = Reader::new(payload);
+            let rows = u64::decode(&mut reader)?;
+            let stats = CampaignStats::decode(&mut reader)?;
+            reader.finish()?;
+            if kind == KIND_STATS {
+                Frame::Stats { rows, stats }
+            } else {
+                Frame::Done { rows, stats }
+            }
+        }
+        kind => return Err(ProtocolError::UnknownKind(kind)),
+    };
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certify_core::sink::NullSink;
+    use certify_core::Campaign;
+
+    fn sample_handshake() -> Handshake {
+        Handshake {
+            scenario: Scenario::e3_fig3(),
+            base_seed: 0xD5_2022,
+            start_trial: 128,
+            len: 64,
+            stats_every: 16,
+        }
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        let stats = Campaign::new(Scenario::e1_root_high(), 3, 9).run_streamed(&mut NullSink);
+        vec![
+            Frame::Handshake(sample_handshake()),
+            Frame::TrialRow {
+                seq: 131,
+                row: b"131,correct,0,0,running,,42,,0,,\n".to_vec(),
+            },
+            Frame::Stats {
+                rows: 16,
+                stats: stats.clone(),
+            },
+            Frame::Done { rows: 64, stats },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The catalogue value for "123456789" under CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_pipe() {
+        let mut pipe = Vec::new();
+        let frames = sample_frames();
+        for frame in &frames {
+            write_frame(&mut pipe, frame).unwrap();
+        }
+        let mut cursor = io::Cursor::new(pipe);
+        for frame in &frames {
+            let read = read_frame(&mut cursor).unwrap().expect("frame present");
+            assert_eq!(&read, frame);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        // Corrupting any single bit of an encoded frame must surface
+        // as *some* protocol error — never a silently different frame.
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &sample_frames()[1]).unwrap();
+        for byte in 0..pipe.len() {
+            for bit in 0..8 {
+                let mut corrupt = pipe.clone();
+                corrupt[byte] ^= 1 << bit;
+                let mut cursor = io::Cursor::new(corrupt);
+                match read_frame(&mut cursor) {
+                    Err(_) => {}
+                    // A flipped length-prefix bit can make the prefix
+                    // claim a longer frame; the remaining bytes then
+                    // fail as a torn frame (Err) — but a *shorter*
+                    // claimed length must still fail the CRC.
+                    Ok(Some(frame)) => {
+                        panic!("bit {bit} of byte {byte} went undetected: {frame:?}")
+                    }
+                    Ok(None) => panic!("bit {bit} of byte {byte} read as clean EOF"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error_not_hang() {
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &sample_frames()[0]).unwrap();
+        for len in 1..pipe.len() {
+            let mut cursor = io::Cursor::new(pipe[..len].to_vec());
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "{len}-byte prefix of a frame must be a torn-frame error"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut body = Vec::new();
+        MAGIC.encode(&mut body);
+        (VERSION + 1).encode(&mut body);
+        sample_handshake().scenario.encode(&mut body);
+        assert!(matches!(
+            decode_exact::<Handshake>(&body),
+            Err(DecodeError::Invalid {
+                what: "protocol version mismatch"
+            })
+        ));
+
+        let mut body = Vec::new();
+        0xDEAD_BEEFu32.encode(&mut body);
+        assert!(matches!(
+            decode_exact::<Handshake>(&body),
+            Err(DecodeError::Invalid {
+                what: "handshake magic mismatch"
+            })
+        ));
+    }
+
+    #[test]
+    fn oversize_and_zero_length_prefixes_are_rejected() {
+        let mut pipe = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        pipe.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(pipe)),
+            Err(ProtocolError::Oversize { .. })
+        ));
+        let pipe = 0u32.to_le_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(pipe)),
+            Err(ProtocolError::Oversize { len: 0 })
+        ));
+    }
+}

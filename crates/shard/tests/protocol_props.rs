@@ -1,0 +1,175 @@
+//! Property tests of the shard wire protocol and the core codec.
+//!
+//! The coordinator trusts nothing a worker sends, and the worker
+//! trusts nothing a coordinator sends — so encode/decode must be an
+//! exact inverse pair on arbitrary values, and arbitrary corruption
+//! must surface as an error, never as a different-but-valid value.
+
+use certify_core::codec::{decode_exact, encode_to_vec};
+use certify_core::spec::{InjectionSpec, InjectionWindow, MemorySpec};
+use certify_core::{
+    Campaign, FaultModel, MemFaultModel, MemRegionKind, MemTarget, NullSink, Scenario,
+};
+use certify_shard::{crc32, read_frame, write_frame, Frame, Handshake};
+use proptest::collection;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Deterministically varies an `InjectionSpec` across its knobs.
+fn spec_variant(rate: u64, windows: Vec<(u64, u64)>, knobs: u8) -> InjectionSpec {
+    let mut spec = match knobs % 4 {
+        0 => InjectionSpec::e1_root_high(),
+        1 => InjectionSpec::e2_nonroot_high(),
+        2 => InjectionSpec::e2_boot_window(),
+        _ => InjectionSpec::e3_nonroot_trap_medium(),
+    }
+    .with_rate(rate)
+    .with_windows(
+        windows
+            .iter()
+            .map(|&(start, span)| InjectionWindow::new(start, start + span.max(1))),
+    );
+    if knobs & 0x10 != 0 {
+        spec = spec.with_phase_jitter();
+    }
+    if knobs & 0x20 != 0 {
+        spec = spec.with_max_injections(u64::from(knobs));
+    }
+    if knobs & 0x40 != 0 {
+        spec = spec.with_time_trigger(rate + 1);
+    }
+    if knobs & 0x80 != 0 {
+        spec = spec.with_model(FaultModel::multi_register_flip());
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Injection specs round-trip through the codec whatever knob
+    /// combination is set.
+    #[test]
+    fn injection_specs_round_trip(
+        rate in 1u64..500,
+        windows in collection::vec((0u64..5000, 1u64..800), 0..4),
+        knobs in any::<u8>(),
+    ) {
+        let spec = spec_variant(rate, windows, knobs);
+        prop_assert_eq!(decode_exact::<InjectionSpec>(&encode_to_vec(&spec)).unwrap(), spec);
+    }
+
+    /// Memory specs (model + target regions + cadence) round-trip.
+    #[test]
+    fn memory_specs_round_trip(
+        rate in 1u64..500,
+        model_tag in 0u8..6,
+        stuck in any::<u32>(),
+        words in 1u32..64,
+        regions in collection::vec(0u8..5, 1..6),
+        custom in any::<bool>(),
+    ) {
+        let model = match model_tag {
+            0 => MemFaultModel::SingleBitFlip,
+            1 => MemFaultModel::DoubleBitFlip,
+            2 => MemFaultModel::WordStuckAt { value: stuck },
+            3 => MemFaultModel::PageBurst { words },
+            4 => MemFaultModel::DescriptorInvalidate,
+            _ => MemFaultModel::CommStateCorrupt,
+        };
+        let mut kinds: Vec<MemRegionKind> =
+            regions.iter().map(|&r| MemRegionKind::ALL[r as usize]).collect();
+        if custom {
+            kinds.push(MemRegionKind::Custom { base: 0x4000_0000, size: 0x1000 });
+        }
+        let spec = MemorySpec::e6_memory(model, MemTarget::new(kinds)).with_rate(rate);
+        prop_assert_eq!(decode_exact::<MemorySpec>(&encode_to_vec(&spec)).unwrap(), spec);
+    }
+
+    /// Trial-row frames round-trip through a pipe with arbitrary row
+    /// bytes (CSV rows are a special case).
+    #[test]
+    fn trial_row_frames_round_trip(
+        seq in any::<u64>(),
+        row in collection::vec(any::<u8>(), 0..300),
+    ) {
+        let frame = Frame::TrialRow { seq, row };
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &frame).unwrap();
+        let read = read_frame(&mut Cursor::new(pipe)).unwrap().unwrap();
+        prop_assert_eq!(read, frame);
+    }
+
+    /// Handshakes carrying every scenario preset round-trip, and the
+    /// rebuilt scenario runs the *same trials*: a worker created from
+    /// the wire form produces the same stats as the original.
+    #[test]
+    fn handshakes_rebuild_identical_scenarios(
+        preset in 0u8..5,
+        base_seed in any::<u64>(),
+        start in 0u64..1000,
+        len in 1u64..50,
+    ) {
+        let scenario = match preset {
+            0 => Scenario::e1_root_high(),
+            1 => Scenario::e2_boot_window(),
+            2 => Scenario::e3_fig3(),
+            3 => Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6()),
+            _ => Scenario::e7_mixed(),
+        };
+        let handshake = Handshake {
+            scenario,
+            base_seed,
+            start_trial: start,
+            len,
+            stats_every: 0,
+        };
+        let frame = Frame::Handshake(handshake.clone());
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &frame).unwrap();
+        let Some(Frame::Handshake(read)) = read_frame(&mut Cursor::new(pipe)).unwrap() else {
+            return Err(TestCaseError::fail(String::from("wrong frame kind")));
+        };
+        prop_assert_eq!(&read, &handshake);
+
+        // Semantic identity, not just structural: one trial of the
+        // rebuilt scenario behaves exactly like the original's.
+        let a = Campaign::new(handshake.scenario, 1, base_seed).run_streamed(&mut NullSink);
+        let b = Campaign::new(read.scenario, 1, base_seed).run_streamed(&mut NullSink);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Flipping any byte of a framed message can never yield a
+    /// *different valid frame*: the CRC (or the decoder) catches it.
+    #[test]
+    fn corrupted_frames_never_decode_to_a_different_frame(
+        seq in any::<u64>(),
+        row in collection::vec(any::<u8>(), 1..120),
+        corrupt_at_frac in 0.0f64..1.0,
+        xor in 1u8..255,
+    ) {
+        let frame = Frame::TrialRow { seq, row };
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &frame).unwrap();
+        let at = ((pipe.len() - 1) as f64 * corrupt_at_frac) as usize;
+        pipe[at] ^= xor;
+        match read_frame(&mut Cursor::new(pipe)) {
+            Err(_) | Ok(None) => {}
+            Ok(Some(read)) => prop_assert_eq!(read, frame, "corruption changed the frame"),
+        }
+    }
+
+    /// crc32 differs on any single-bit difference of short inputs
+    /// (CRC-32 guarantees Hamming distance > 1 at these lengths).
+    #[test]
+    fn crc_detects_single_bit_flips(
+        bytes in collection::vec(any::<u8>(), 1..64),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut flipped = bytes.clone();
+        let at = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        flipped[at] ^= 1 << bit;
+        prop_assert_ne!(crc32(&bytes), crc32(&flipped));
+    }
+}

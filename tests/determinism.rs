@@ -87,6 +87,51 @@ fn mixed_register_memory_campaign_is_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn concatenated_ranges_equal_the_full_run() {
+    // The shard execution primitive: `run_range_streamed` over any
+    // partition of the trial space must deliver exactly the trials —
+    // same global sequence numbers, same full reports — the
+    // single-process `run_streamed` delivers, and the per-range stats
+    // must merge to the full-run stats. E7 arms both injectors, so
+    // this also pins that a range's RNG state never leaks from one
+    // range into the next.
+    use certify_core::campaign::TrialResult;
+    use certify_core::CampaignStats;
+
+    for (scenario, trials) in [(Scenario::e3_fig3(), 8usize), (Scenario::e7_mixed(), 6)] {
+        let campaign = Campaign::new(scenario, trials, 0xD5_2022);
+        let mut full = Vec::new();
+        let full_stats = campaign.run_streamed(&mut |seq: usize, t: TrialResult| {
+            full.push((seq, t));
+        });
+
+        for split in 1..trials {
+            let mut pieces = Vec::new();
+            let mut merged = CampaignStats::new(campaign.scenario().name.clone());
+            for (start, len) in [(0, split), (split, trials - split)] {
+                merged.merge(&campaign.run_range_streamed(
+                    start,
+                    len,
+                    &mut |seq: usize, t: TrialResult| {
+                        pieces.push((seq, t));
+                    },
+                ));
+            }
+            assert_eq!(
+                pieces,
+                full,
+                "ranges split at {split} diverged for scenario {}",
+                campaign.scenario().name
+            );
+            assert_eq!(
+                merged, full_stats,
+                "merged range stats diverged at split {split}"
+            );
+        }
+    }
+}
+
+#[test]
 fn parallel_run_with_more_workers_than_trials() {
     let campaign = Campaign::new(Scenario::e1_root_high(), 3, 1);
     assert_eq!(campaign.run(), campaign.run_parallel(64));
