@@ -357,8 +357,16 @@ impl Campaign {
         );
         let runner = self.scenario.runner();
         let mut stats = CampaignStats::new(self.scenario.name.clone());
+        #[cfg(debug_assertions)]
+        let prediction = self
+            .scenario
+            .mem_spec
+            .as_ref()
+            .map(MemorySpec::skip_prediction);
         for seq in start_trial..end {
             let trial = runner.run_trial(self.base_seed + seq as u64);
+            #[cfg(debug_assertions)]
+            assert_skips_predicted(prediction.as_ref(), &trial);
             stats.record(&trial);
             sink.accept(seq, trial);
         }
@@ -489,6 +497,28 @@ impl Campaign {
             .expect("campaign engine lock")
             .high_water;
         (stats, high_water)
+    }
+}
+
+/// Debug-build cross-check of the static skip analysis: every skipped
+/// memory injection recorded by a trial must have been predicted as
+/// *possible* by [`crate::memfault::SkipPrediction`] — if the linter
+/// says a spec cannot skip, the engine holds it to that.
+#[cfg(debug_assertions)]
+fn assert_skips_predicted(
+    prediction: Option<&crate::memfault::SkipPrediction>,
+    trial: &TrialResult,
+) {
+    for record in &trial.report.mem_injections {
+        let Some(reason) = &record.skipped else {
+            continue;
+        };
+        let prediction = prediction.expect("a skip was recorded without a memory spec");
+        assert!(
+            prediction.predicts(reason),
+            "trial {} skipped an injection ({reason}) the static analysis ruled out",
+            trial.seed
+        );
     }
 }
 
@@ -706,6 +736,23 @@ mod tests {
     fn out_of_bounds_range_is_rejected() {
         let campaign = Campaign::new(Scenario::golden(400), 3, 1);
         campaign.run_range_streamed(2, 2, &mut crate::sink::NullSink);
+    }
+
+    #[test]
+    fn predicted_skips_pass_the_debug_assertion() {
+        // A hole-region target guarantees OutOfRange skips; the
+        // prediction marks them possible, so the run's debug
+        // assertion accepts every one of them.
+        let scenario = Scenario::e6_memory(
+            MemFaultModel::SingleBitFlip,
+            MemTarget::only(crate::MemRegionKind::Custom {
+                base: 0x1000_0000,
+                size: 0x1000,
+            }),
+        );
+        let stats = Campaign::new(scenario, 2, 5).run_streamed(&mut crate::sink::NullSink);
+        assert_eq!(stats.trials, 2);
+        assert_eq!(stats.mem_injected_trials, 0, "every injection skipped");
     }
 
     #[test]

@@ -41,6 +41,8 @@
 //! * [`codec`] — the hand-rolled binary wire codec that ships
 //!   scenarios to, and stats back from, `certify-shard` worker
 //!   processes;
+//! * [`json`] — the hand-rolled JSON writer behind `certify-lint
+//!   --json` and future report exports;
 //! * [`profiler`] — golden-run profiling that ranks handler
 //!   activations and (re)derives the paper's three injection points.
 //!
@@ -63,6 +65,7 @@ pub mod classify;
 pub mod codec;
 pub mod fault;
 pub mod injector;
+pub mod json;
 pub mod memfault;
 pub mod meminjector;
 pub mod profiler;
@@ -76,7 +79,11 @@ pub use classify::{classify, Outcome, RunReport};
 pub use codec::{decode_exact, encode_to_vec, DecodeError, Reader, Wire};
 pub use fault::{AppliedFault, FaultModel};
 pub use injector::{InjectionRecord, Injector};
-pub use memfault::{AppliedMemFault, MemFaultModel, MemFaultSkip, MemRegionKind, MemTarget};
+pub use json::Json;
+pub use memfault::{
+    AppliedMemFault, MemFaultModel, MemFaultSkip, MemRegionKind, MemTarget, RamCoverage,
+    SkipPrediction,
+};
 pub use meminjector::{MemInjectionLog, MemInjectionRecord, MemInjector};
 pub use profiler::{profile_golden_run, ProfileReport};
 pub use sink::{CollectSink, NullSink, TrialSink};

@@ -262,6 +262,107 @@ impl From<OutOfRange> for MemFaultSkip {
     }
 }
 
+/// How a region's `[base, base + size)` span relates to the DRAM
+/// window — the static version of the runtime
+/// [`MemFaultSkip::OutOfRange`] check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RamCoverage {
+    /// Every address of the span is DRAM: RAM-word faults here can
+    /// never skip.
+    Inside,
+    /// Part of the span is DRAM, part is not: a sample may skip.
+    Straddles,
+    /// No address of the span is DRAM: every RAM-word fault sampled
+    /// here skips.
+    Outside,
+}
+
+impl RamCoverage {
+    /// Classifies a region span against the DRAM window.
+    pub fn of(region: MemRegionKind) -> RamCoverage {
+        let (base, size) = region.span();
+        // u64 arithmetic: spans may legally end exactly at 2^32.
+        let (start, end) = (base as u64, base as u64 + size as u64);
+        let (ram_start, ram_end) = (
+            memmap::RAM_BASE as u64,
+            memmap::RAM_BASE as u64 + memmap::RAM_SIZE as u64,
+        );
+        if start >= ram_start && end <= ram_end {
+            RamCoverage::Inside
+        } else if end <= ram_start || start >= ram_end {
+            RamCoverage::Outside
+        } else {
+            RamCoverage::Straddles
+        }
+    }
+}
+
+/// What kinds of [`MemFaultSkip`] a `(model, target)` pair can
+/// statically produce. Computed by
+/// [`crate::spec::MemorySpec::skip_prediction`]; the linter warns when
+/// skips are *guaranteed*, and the campaign engine debug-asserts that
+/// every runtime skip was predicted as *possible*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SkipPrediction {
+    /// Some sampled address may fall outside the RAM window
+    /// ([`MemFaultSkip::OutOfRange`]).
+    pub out_of_range_possible: bool,
+    /// Some configured region lies entirely outside the RAM window —
+    /// every sample landing in it skips.
+    pub out_of_range_guaranteed: bool,
+    /// The model/target needs a non-root victim cell, so
+    /// [`MemFaultSkip::NoVictimCell`] can occur while none exists.
+    pub no_victim_possible: bool,
+}
+
+impl SkipPrediction {
+    /// Predicts the skips `model` over `target` can produce.
+    ///
+    /// The mapping mirrors [`MemFaultModel::apply`]'s dispatch:
+    /// [`MemFaultModel::CommStateCorrupt`] always writes the comm
+    /// region inside RTOS RAM (no skips); descriptor attacks
+    /// ([`MemFaultModel::DescriptorInvalidate`], or any word model on
+    /// [`MemRegionKind::Stage2Tables`]) need a victim cell but never
+    /// touch physical RAM; word models on the remaining regions write
+    /// RAM and can go out of range there.
+    pub fn of(model: &MemFaultModel, target: &MemTarget) -> SkipPrediction {
+        let mut prediction = SkipPrediction::default();
+        if matches!(model, MemFaultModel::CommStateCorrupt) {
+            return prediction;
+        }
+        for &region in target.regions() {
+            let descriptor_path = matches!(model, MemFaultModel::DescriptorInvalidate)
+                || region == MemRegionKind::Stage2Tables;
+            if descriptor_path {
+                prediction.no_victim_possible = true;
+            } else {
+                match RamCoverage::of(region) {
+                    RamCoverage::Inside => {}
+                    RamCoverage::Straddles => prediction.out_of_range_possible = true,
+                    RamCoverage::Outside => {
+                        prediction.out_of_range_possible = true;
+                        prediction.out_of_range_guaranteed = true;
+                    }
+                }
+            }
+        }
+        prediction
+    }
+
+    /// Whether a recorded skip reason (the [`MemFaultSkip`] display
+    /// string) was predicted as possible. Unknown reason strings are
+    /// accepted — a future skip kind must not fail old assertions.
+    pub fn predicts(&self, reason: &str) -> bool {
+        if reason.contains("outside RAM window") {
+            self.out_of_range_possible
+        } else if reason.contains("victim cell") {
+            self.no_victim_possible
+        } else {
+            true
+        }
+    }
+}
+
 /// A memory fault model: how to corrupt the sampled location.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MemFaultModel {
@@ -804,6 +905,71 @@ mod tests {
             )
             .unwrap();
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn ram_coverage_classifies_spans() {
+        for region in MemRegionKind::ALL {
+            assert_eq!(RamCoverage::of(region), RamCoverage::Inside, "{region}");
+        }
+        let hole = MemRegionKind::Custom {
+            base: 0x1000_0000,
+            size: 0x1000,
+        };
+        assert_eq!(RamCoverage::of(hole), RamCoverage::Outside);
+        let straddle = MemRegionKind::Custom {
+            base: memmap::RAM_BASE - 0x100,
+            size: 0x200,
+        };
+        assert_eq!(RamCoverage::of(straddle), RamCoverage::Straddles);
+        // A span ending exactly at 2^32 must not wrap the arithmetic.
+        let top = MemRegionKind::Custom {
+            base: 0xffff_f000,
+            size: 0x1000,
+        };
+        assert_eq!(RamCoverage::of(top), RamCoverage::Outside);
+    }
+
+    #[test]
+    fn skip_prediction_mirrors_apply_dispatch() {
+        // In-RAM word faults: no skips possible.
+        let clean = SkipPrediction::of(
+            &MemFaultModel::SingleBitFlip,
+            &MemTarget::only(MemRegionKind::NonRootRam),
+        );
+        assert_eq!(clean, SkipPrediction::default());
+
+        // Comm-state corruption never skips, whatever the target says.
+        let comm = SkipPrediction::of(
+            &MemFaultModel::CommStateCorrupt,
+            &MemTarget::only(MemRegionKind::Custom {
+                base: 0x1000_0000,
+                size: 0x1000,
+            }),
+        );
+        assert_eq!(comm, SkipPrediction::default());
+
+        // Descriptor attacks need a victim cell but never touch RAM.
+        let desc = SkipPrediction::of(&MemFaultModel::DescriptorInvalidate, &MemTarget::all());
+        assert!(desc.no_victim_possible && !desc.out_of_range_possible);
+        let stage2 = SkipPrediction::of(
+            &MemFaultModel::SingleBitFlip,
+            &MemTarget::only(MemRegionKind::Stage2Tables),
+        );
+        assert!(stage2.no_victim_possible && !stage2.out_of_range_possible);
+
+        // Word faults into a hole are guaranteed to skip.
+        let hole = SkipPrediction::of(
+            &MemFaultModel::SingleBitFlip,
+            &MemTarget::only(MemRegionKind::Custom {
+                base: 0x1000_0000,
+                size: 0x1000,
+            }),
+        );
+        assert!(hole.out_of_range_possible && hole.out_of_range_guaranteed);
+        assert!(hole.predicts("address 0x10000000 outside RAM window"));
+        assert!(!hole.predicts("no non-root victim cell exists"));
+        assert!(hole.predicts("some future skip reason"), "unknown accepted");
     }
 
     #[test]

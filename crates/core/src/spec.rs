@@ -396,6 +396,14 @@ impl MemorySpec {
     pub fn armed(&self, step: u64) -> bool {
         windows_arm(&self.windows, step)
     }
+
+    /// What kinds of skipped injection this spec can statically
+    /// produce (see [`crate::memfault::SkipPrediction`]). The campaign
+    /// engine debug-asserts runtime skips against this; `certify-lint`
+    /// warns when skips are guaranteed.
+    pub fn skip_prediction(&self) -> crate::memfault::SkipPrediction {
+        crate::memfault::SkipPrediction::of(&self.model, &self.target)
+    }
 }
 
 #[cfg(test)]

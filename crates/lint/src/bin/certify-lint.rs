@@ -1,0 +1,186 @@
+//! `certify-lint` — run the static-analysis passes from the command
+//! line (and from CI).
+//!
+//! ```text
+//! certify-lint [all|specs|schema|audit] [--json] [--root DIR]
+//! certify-lint --write-schema
+//! ```
+//!
+//! * `specs` lints every built-in scenario;
+//! * `schema` audits the wire-codec fingerprints against the golden
+//!   table;
+//! * `audit` runs the determinism source scan over `<root>/crates`;
+//! * `all` (the default) runs all three;
+//! * `--json` emits one JSON report object instead of text lines;
+//! * `--root DIR` sets the repository root for the audit pass
+//!   (default: the ambient working directory);
+//! * `--write-schema` regenerates `crates/lint/schema.golden` under
+//!   the root — a deliberate act after a wire-protocol version bump.
+//!
+//! Exit codes: `0` clean or warnings only, `1` at least one
+//! error-severity diagnostic, `2` usage or I/O failure.
+
+use certify_core::json::Json;
+use certify_lint::{
+    builtin_scenarios, check_schema, current_schema, diagnostics_to_json, has_errors,
+    lint_scenario, schema::render_schema, Diagnostic,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    pass: Pass,
+    json: bool,
+    root: PathBuf,
+    write_schema: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    All,
+    Specs,
+    Schema,
+    Audit,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: certify-lint [all|specs|schema|audit] [--json] [--root DIR] [--write-schema]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut options = Options {
+        pass: Pass::All,
+        json: false,
+        root: PathBuf::from("."),
+        write_schema: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "all" => options.pass = Pass::All,
+            "specs" => options.pass = Pass::Specs,
+            "schema" => options.pass = Pass::Schema,
+            "audit" => options.pass = Pass::Audit,
+            "--json" => options.json = true,
+            "--write-schema" => options.write_schema = true,
+            "--root" => match args.next() {
+                Some(dir) => options.root = PathBuf::from(dir),
+                None => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    Ok(options)
+}
+
+/// One pass's findings, tagged for the report.
+struct PassReport {
+    pass: &'static str,
+    diagnostics: Vec<Diagnostic>,
+}
+
+fn run_specs() -> PassReport {
+    let mut diagnostics = Vec::new();
+    for scenario in builtin_scenarios() {
+        for mut diagnostic in lint_scenario(&scenario) {
+            diagnostic.span = format!("{}: {}", scenario.name, diagnostic.span);
+            diagnostics.push(diagnostic);
+        }
+    }
+    PassReport {
+        pass: "specs",
+        diagnostics,
+    }
+}
+
+fn run_schema() -> PassReport {
+    PassReport {
+        pass: "schema",
+        diagnostics: check_schema(),
+    }
+}
+
+fn run_audit(root: &std::path::Path) -> PassReport {
+    PassReport {
+        pass: "audit",
+        diagnostics: certify_lint::audit_tree(&root.join("crates")),
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(code) => return code,
+    };
+
+    if options.write_schema {
+        let path = options.root.join("crates/lint/schema.golden");
+        let rendered = render_schema(&current_schema());
+        return match std::fs::write(&path, rendered) {
+            Ok(()) => {
+                eprintln!("wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("certify-lint: cannot write {}: {err}", path.display());
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let mut reports = Vec::new();
+    if matches!(options.pass, Pass::All | Pass::Specs) {
+        reports.push(run_specs());
+    }
+    if matches!(options.pass, Pass::All | Pass::Schema) {
+        reports.push(run_schema());
+    }
+    if matches!(options.pass, Pass::All | Pass::Audit) {
+        reports.push(run_audit(&options.root));
+    }
+
+    let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    let failed = reports.iter().any(|r| has_errors(&r.diagnostics));
+
+    if options.json {
+        let report = Json::obj([
+            (
+                "passes",
+                Json::Arr(
+                    reports
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("pass", Json::str(r.pass)),
+                                ("diagnostics", diagnostics_to_json(&r.diagnostics)),
+                                ("errors", Json::Bool(has_errors(&r.diagnostics))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total", Json::U64(total as u64)),
+            ("failed", Json::Bool(failed)),
+        ]);
+        println!("{}", report.render());
+    } else {
+        for report in &reports {
+            for diagnostic in &report.diagnostics {
+                println!("{}: {diagnostic}", report.pass);
+            }
+        }
+        eprintln!(
+            "certify-lint: {} pass(es), {total} finding(s), {}",
+            reports.len(),
+            if failed { "FAILED" } else { "ok" }
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -36,6 +36,7 @@
 
 use crate::protocol::{read_frame, write_frame, Frame, Handshake};
 use certify_core::{Campaign, CampaignStats};
+use certify_lint::{has_errors, lint_partition, lint_scenario, Diagnostic};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
@@ -123,6 +124,13 @@ pub struct ShardedRun {
 /// Why a sharded run failed.
 #[derive(Debug)]
 pub enum ShardError {
+    /// The campaign's scenario failed static analysis: running it
+    /// would burn worker processes on a campaign that certifies
+    /// nothing. The diagnostics say what is wrong.
+    BadScenario(Vec<Diagnostic>),
+    /// The shard partition failed validation (overlap, gap, or
+    /// out-of-bounds range): rows would collide or go missing.
+    BadPartition(Vec<Diagnostic>),
     /// No worker executable could be resolved.
     NoWorker(String),
     /// A shard exhausted its attempts.
@@ -141,6 +149,14 @@ pub enum ShardError {
 impl fmt::Display for ShardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ShardError::BadScenario(diags) => {
+                write!(f, "scenario failed static analysis: ")?;
+                fmt_diagnostics(f, diags)
+            }
+            ShardError::BadPartition(diags) => {
+                write!(f, "shard partition failed validation: ")?;
+                fmt_diagnostics(f, diags)
+            }
             ShardError::NoWorker(e) => write!(f, "no shard worker executable: {e}"),
             ShardError::ShardFailed {
                 shard,
@@ -156,6 +172,17 @@ impl fmt::Display for ShardError {
 }
 
 impl std::error::Error for ShardError {}
+
+/// Renders a diagnostic list as one `;`-joined line for error text.
+fn fmt_diagnostics(f: &mut fmt::Formatter<'_>, diags: &[Diagnostic]) -> fmt::Result {
+    for (i, diag) in diags.iter().enumerate() {
+        if i > 0 {
+            write!(f, "; ")?;
+        }
+        write!(f, "{diag}")?;
+    }
+    Ok(())
+}
 
 /// Locates the `shard_worker` executable: the `CERTIFY_SHARD_WORKER`
 /// environment variable if set, else a binary named `shard_worker`
@@ -256,6 +283,13 @@ pub fn run_sharded(
     opts: &ShardOptions,
     mut csv_out: Option<&mut dyn Write>,
 ) -> Result<ShardedRun, ShardError> {
+    // Refuse a statically broken scenario before touching a worker:
+    // a dead-window or unsatisfiable-rate campaign would complete
+    // green across every shard and certify nothing.
+    let scenario_diags = lint_scenario(campaign.scenario());
+    if has_errors(&scenario_diags) {
+        return Err(ShardError::BadScenario(scenario_diags));
+    }
     let worker = match &opts.worker {
         Some(path) => path.clone(),
         None => resolve_worker().map_err(ShardError::NoWorker)?,
@@ -267,6 +301,12 @@ pub fn run_sharded(
 
     let trials = campaign.trials();
     let ranges = partition(trials, opts.shards);
+    // Validate the partition contract — contiguous, non-overlapping,
+    // exactly covering `0..trials` — before spawning anything.
+    let partition_diags = lint_partition(0, trials, &ranges);
+    if has_errors(&partition_diags) {
+        return Err(ShardError::BadPartition(partition_diags));
+    }
     if trials == 0 {
         return Ok(ShardedRun {
             stats: CampaignStats::new(campaign.scenario().name.clone()),

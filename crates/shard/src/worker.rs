@@ -193,6 +193,18 @@ pub fn run_handshake<W: Write>(handshake: &Handshake, output: W) -> Result<(), W
             ))
         }
     };
+    // The coordinator lints before spawning, but a worker can be
+    // handed a handshake by anything speaking the protocol — re-check
+    // so a statically broken scenario dies at the handshake (exit 2),
+    // not as a silently meaningless shard.
+    let diagnostics = certify_lint::lint_scenario(scenario);
+    if certify_lint::has_errors(&diagnostics) {
+        let rendered: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
+        return Err(WorkerError::Handshake(format!(
+            "scenario failed static analysis: {}",
+            rendered.join("; ")
+        )));
+    }
 
     let campaign = Campaign::new(scenario.clone(), start + len, *base_seed);
     let mut sink = RemoteSink::new(output, scenario.name.clone(), *stats_every);
@@ -349,6 +361,27 @@ mod tests {
         assert!(sink.latched_error().is_some());
         assert_eq!(sink.rows(), 0);
         assert!(sink.finish().is_err(), "finish must surface the latch");
+    }
+
+    #[test]
+    fn statically_broken_scenario_is_a_handshake_error() {
+        use certify_core::spec::InjectionWindow;
+        let mut handshake = handshake(2, 0, 2);
+        // Every window opens after the horizon: window-all-dead, an
+        // error-severity lint finding.
+        handshake.scenario.spec.as_mut().unwrap().windows = vec![InjectionWindow::new(
+            handshake.scenario.steps + 1,
+            handshake.scenario.steps + 100,
+        )];
+        let mut output = Vec::new();
+        let err = run_handshake(&handshake, &mut output).unwrap_err();
+        assert!(matches!(err, WorkerError::Handshake(_)), "{err}");
+        assert_eq!(err.exit_code(), EXIT_BAD_HANDSHAKE);
+        assert!(
+            err.to_string().contains("window-all-dead"),
+            "error must carry the diagnostic code: {err}"
+        );
+        assert!(output.is_empty(), "no frames before the refusal");
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Golden fingerprints for the shard wire protocol's framed encodings.
+//!
+//! `certify_lint`'s schema auditor pins every `certify_core::codec`
+//! wire type, but the *frame* layer — kind bytes, length prefix, CRC
+//! trailer, handshake magic/version — lives in this crate and would
+//! create a dependency cycle if pinned there. So the frame encodings
+//! are pinned here instead, with the same FNV-1a fingerprint helper:
+//! any change to the frame layout or the handshake's field order
+//! breaks these constants and must come with a deliberate `VERSION`
+//! bump.
+
+use certify_core::{CampaignStats, Scenario};
+use certify_lint::fingerprint;
+use certify_shard::{write_frame, Frame, Handshake};
+
+/// Frames a value exactly as the wire sees it: `[len][kind|payload][crc]`.
+fn framed(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_frame(&mut out, frame).expect("in-memory frame write");
+    out
+}
+
+fn pinned_frames() -> Vec<(&'static str, Vec<u8>)> {
+    let stats = CampaignStats::new("pin");
+    vec![
+        (
+            "handshake-e3",
+            framed(&Frame::Handshake(Handshake {
+                scenario: Scenario::e3_fig3(),
+                base_seed: 7,
+                start_trial: 2,
+                len: 3,
+                stats_every: 4,
+            })),
+        ),
+        (
+            "trial-row",
+            framed(&Frame::TrialRow {
+                seq: 5,
+                row: b"pinned,row,bytes\n".to_vec(),
+            }),
+        ),
+        (
+            "stats",
+            framed(&Frame::Stats {
+                rows: 2,
+                stats: stats.clone(),
+            }),
+        ),
+        ("done", framed(&Frame::Done { rows: 3, stats })),
+    ]
+}
+
+/// `(name, framed length, fnv1a64)` — regenerate deliberately (the
+/// failure message prints current values) alongside a protocol
+/// `VERSION` bump.
+const GOLDEN: &[(&str, usize, u64)] = &[
+    ("handshake-e3", 206, 0xd1b6e169a698c207),
+    ("trial-row", 42, 0x654dd71078400e11),
+    ("stats", 148, 0xd0e28bfdd1519951),
+    ("done", 148, 0xbf44227906e2af08),
+];
+
+#[test]
+fn frame_encodings_match_their_golden_fingerprints() {
+    let current = pinned_frames();
+    assert_eq!(current.len(), GOLDEN.len());
+    for ((name, bytes), &(golden_name, golden_len, golden_fp)) in current.iter().zip(GOLDEN) {
+        assert_eq!(*name, golden_name);
+        assert_eq!(
+            (bytes.len(), fingerprint(bytes)),
+            (golden_len, golden_fp),
+            "frame `{name}` encoding drifted: current is (\"{name}\", {}, {:#018x}) — \
+             a wire-protocol break needing a VERSION bump",
+            bytes.len(),
+            fingerprint(bytes),
+        );
+    }
+}
+
+#[test]
+fn frame_kind_bytes_are_stable() {
+    // Byte 4 (after the u32 length prefix) is the kind tag.
+    let kinds: Vec<u8> = pinned_frames().iter().map(|(_, bytes)| bytes[4]).collect();
+    assert_eq!(kinds, vec![1, 2, 3, 4]);
+}

@@ -171,6 +171,41 @@ fn protocol_violating_worker_fails_after_retries() {
 }
 
 #[test]
+fn statically_broken_scenario_is_refused_before_spawning() {
+    // A spec whose only window opens after the horizon lints as the
+    // error-severity `window-all-dead`: the coordinator must refuse
+    // the campaign outright. No worker binary is configured — the
+    // refusal has to happen before worker resolution.
+    use certify_core::spec::InjectionWindow;
+    let mut scenario = Scenario::e3_fig3();
+    let steps = scenario.steps;
+    scenario.spec.as_mut().unwrap().windows = vec![InjectionWindow::new(steps + 1, steps + 100)];
+    let campaign = Campaign::new(scenario, 8, 3);
+    match run_sharded(&campaign, &ShardOptions::new(2), None) {
+        Err(ShardError::BadScenario(diags)) => {
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.code == certify_lint::Code::WindowAllDead),
+                "diagnostics must name the dead window: {diags:?}"
+            );
+        }
+        other => panic!("expected BadScenario, got {other:?}"),
+    }
+}
+
+#[test]
+fn warning_level_findings_do_not_block_sharded_runs() {
+    // max_injections == 0 lints as a warning (`spec-zero-injection-cap`)
+    // — suspicious, but the campaign is still runnable.
+    let mut scenario = Scenario::e1_root_high();
+    scenario.spec.as_mut().unwrap().max_injections = Some(0);
+    let campaign = Campaign::new(scenario, 6, 3);
+    let run = run_sharded(&campaign, &options(2), None).expect("warnings must not block");
+    assert_eq!(run.rows, 6);
+}
+
+#[test]
 fn missing_worker_binary_is_a_clean_error() {
     let campaign = Campaign::new(Scenario::e1_root_high(), 4, 3);
     let opts = options(1).with_worker("/nonexistent/certify/shard_worker");
