@@ -110,6 +110,9 @@ pub struct CsvSink<W: Write> {
     /// Row scratch buffer, reused across every trial of the campaign.
     row: String,
     rows: usize,
+    /// Bytes the writer has accepted (header, full rows, and any
+    /// truncated partial row) — the sink's `bytes_written` telemetry.
+    bytes: u64,
     error: Option<io::Error>,
     /// Bytes of a partially written row left in the output when the
     /// latched error struck mid-row (0 = the output ends on a row
@@ -125,6 +128,7 @@ impl<W: Write> CsvSink<W> {
             out,
             row: String::new(),
             rows: 0,
+            bytes: CSV_HEADER.len() as u64,
             error: None,
             truncated_row_bytes: 0,
         })
@@ -133,6 +137,12 @@ impl<W: Write> CsvSink<W> {
     /// Data rows accepted so far (not counting the header).
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Bytes the underlying writer has accepted so far — the header,
+    /// every complete row, and any truncated partial row.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Bytes of an incomplete final row left in the output by a
@@ -161,6 +171,7 @@ impl<W: Write> CsvSink<W> {
             match self.out.write(&bytes[written..]) {
                 Ok(0) => {
                     self.truncated_row_bytes = written;
+                    self.bytes += written as u64;
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,
                         format!(
@@ -174,6 +185,7 @@ impl<W: Write> CsvSink<W> {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => {
                     self.truncated_row_bytes = written;
+                    self.bytes += written as u64;
                     return Err(if written > 0 {
                         io::Error::new(
                             e.kind(),
@@ -189,6 +201,7 @@ impl<W: Write> CsvSink<W> {
                 }
             }
         }
+        self.bytes += bytes.len() as u64;
         Ok(())
     }
 
@@ -230,6 +243,10 @@ impl<W: Write> TrialSink for CsvSink<W> {
         }
         // `trial` (and its full RunReport) drops here: the sink keeps
         // only the scratch row buffer.
+    }
+
+    fn bytes_written(&self) -> Option<u64> {
+        Some(self.bytes)
     }
 }
 

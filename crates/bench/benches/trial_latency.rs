@@ -15,7 +15,15 @@
 //! * `--emit <path>` — also write the JSON report to `<path>`;
 //! * `--check <path>` — compare the E3 mean against the committed
 //!   baseline JSON and exit non-zero if it regressed by more than
-//!   25 % (the CI gate).
+//!   25 % (the CI gate);
+//! * `--overhead-check` — interleave plain and telemetry-observed E3
+//!   rounds and fail if observation costs more than 5 % (the
+//!   observability overhead gate).
+//!
+//! Per-trial latencies are also folded into a `certify_obs::Histogram`
+//! (5 µs buckets), so the report carries E3 p50/p90/p99 alongside the
+//! round means; the JSON keys are appended after the original schema,
+//! which stays backward-compatible for the committed baseline.
 //!
 //! The headline metric is the **best-round mean**: the mean per-trial
 //! wall time of the fastest round. Rounds amortise interference from
@@ -28,6 +36,7 @@
 use certify_bench::{json_number, resolve_baseline_path as resolve};
 use certify_core::campaign::Scenario;
 use certify_core::{MemFaultModel, MemTarget};
+use certify_obs::{Histogram, MonotonicClock};
 use std::time::Instant;
 
 /// The per-trial budget the ROADMAP targets, in microseconds.
@@ -37,12 +46,16 @@ const SEED_BASELINE_US: f64 = 805.0;
 /// CI failure threshold: measured mean may exceed the committed
 /// baseline by at most this factor.
 const REGRESSION_FACTOR: f64 = 1.25;
+/// Observability overhead gate: an observed trial may cost at most
+/// this factor of an unobserved one.
+const OVERHEAD_FACTOR: f64 = 1.05;
 
 struct Config {
     rounds: usize,
     trials: usize,
     emit: Option<String>,
     check: Option<String>,
+    overhead_check: bool,
     fast: bool,
 }
 
@@ -52,6 +65,7 @@ fn parse_args() -> Config {
         trials: 400,
         emit: None,
         check: None,
+        overhead_check: false,
         fast: false,
     };
     let mut args = std::env::args().skip(1);
@@ -71,6 +85,7 @@ fn parse_args() -> Config {
                         .unwrap_or_else(|| panic!("--check needs a path")),
                 );
             }
+            "--overhead-check" => config.overhead_check = true,
             // Cargo's own bench plumbing.
             "--bench" => {}
             // Any other flag is a typo — failing loudly keeps the CI
@@ -107,6 +122,50 @@ fn measure(scenario: Scenario, rounds: usize, trials: usize) -> (f64, f64) {
     (best, worst)
 }
 
+/// Per-trial latency distribution over one round: each trial timed
+/// individually into a 5 µs-bucket histogram (up to 2 ms, then
+/// overflow), so the report can quote p50/p90/p99 and not just means.
+fn measure_distribution(scenario: Scenario, trials: usize) -> Histogram {
+    let runner = scenario.runner();
+    let bounds: Vec<u64> = (1..=400).map(|i| i * 5_000).collect();
+    let mut histogram = Histogram::with_bounds(bounds);
+    for i in 0..trials as u64 {
+        let seed = 0xD5_2022 + i;
+        let start = Instant::now();
+        std::hint::black_box(runner.run_trial(seed));
+        histogram.record(start.elapsed().as_nanos() as u64);
+    }
+    histogram
+}
+
+/// Best-round means of plain vs telemetry-observed E3 trials, with
+/// the two variants interleaved round by round so slow drift on
+/// shared hardware hits both equally.
+fn measure_overhead(rounds: usize, trials: usize) -> (f64, f64) {
+    let runner = Scenario::e3_fig3().runner();
+    let clock = MonotonicClock::new();
+    for seed in 0..(trials / 4).max(8) as u64 {
+        std::hint::black_box(runner.run_trial(seed));
+        std::hint::black_box(runner.run_trial_observed(seed, &clock));
+    }
+    let mut plain_best = f64::INFINITY;
+    let mut observed_best = f64::INFINITY;
+    for round in 0..rounds {
+        let base = 0xD5_2022 + round as u64 * trials as u64;
+        let start = Instant::now();
+        for i in 0..trials as u64 {
+            std::hint::black_box(runner.run_trial(base + i));
+        }
+        plain_best = plain_best.min(start.elapsed().as_secs_f64() * 1e6 / trials as f64);
+        let start = Instant::now();
+        for i in 0..trials as u64 {
+            std::hint::black_box(runner.run_trial_observed(base + i, &clock));
+        }
+        observed_best = observed_best.min(start.elapsed().as_secs_f64() * 1e6 / trials as f64);
+    }
+    (plain_best, observed_best)
+}
+
 fn main() {
     let config = parse_args();
     println!(
@@ -124,6 +183,13 @@ fn main() {
         config.trials / 2,
     );
 
+    let distribution = measure_distribution(Scenario::e3_fig3(), config.trials);
+    let (e3_p50, e3_p90, e3_p99) = (
+        distribution.p50() as f64 / 1e3,
+        distribution.p90() as f64 / 1e3,
+        distribution.p99() as f64 / 1e3,
+    );
+
     for (name, best, worst) in [
         ("e3_fig3 (4500 steps)", e3_best, e3_worst),
         ("golden (4500 steps)", golden_best, golden_worst),
@@ -132,13 +198,19 @@ fn main() {
         println!("{name:>24}: best-round mean {best:8.1} us/trial, worst {worst:8.1}");
     }
     println!(
+        "{:>24}: p50 {e3_p50:8.1} us, p90 {e3_p90:8.1} us, p99 {e3_p99:8.1} us",
+        "e3_fig3 distribution"
+    );
+    println!(
         "e3 vs seed baseline ({SEED_BASELINE_US} us): {:.1}x faster; target {TARGET_US} us: {}",
         SEED_BASELINE_US / e3_best,
         if e3_best < TARGET_US { "MET" } else { "MISSED" }
     );
 
+    // The percentile keys are appended after the original schema so a
+    // previously committed baseline (without them) still `--check`s.
     let json = format!(
-        "{{\n  \"bench\": \"trial_latency\",\n  \"mode\": \"{}\",\n  \"rounds\": {},\n  \"trials_per_round\": {},\n  \"e3_mean_us\": {:.1},\n  \"e3_worst_round_us\": {:.1},\n  \"golden_mean_us\": {:.1},\n  \"golden_worst_round_us\": {:.1},\n  \"e6_mean_us\": {:.1},\n  \"e6_worst_round_us\": {:.1},\n  \"target_us\": {:.1},\n  \"seed_baseline_us\": {:.1}\n}}\n",
+        "{{\n  \"bench\": \"trial_latency\",\n  \"mode\": \"{}\",\n  \"rounds\": {},\n  \"trials_per_round\": {},\n  \"e3_mean_us\": {:.1},\n  \"e3_worst_round_us\": {:.1},\n  \"golden_mean_us\": {:.1},\n  \"golden_worst_round_us\": {:.1},\n  \"e6_mean_us\": {:.1},\n  \"e6_worst_round_us\": {:.1},\n  \"target_us\": {:.1},\n  \"seed_baseline_us\": {:.1},\n  \"e3_p50_us\": {:.1},\n  \"e3_p90_us\": {:.1},\n  \"e3_p99_us\": {:.1}\n}}\n",
         if config.fast { "fast" } else { "full" },
         config.rounds,
         config.trials,
@@ -150,6 +222,9 @@ fn main() {
         e6_worst,
         TARGET_US,
         SEED_BASELINE_US,
+        e3_p50,
+        e3_p90,
+        e3_p99,
     );
     print!("{json}");
 
@@ -176,5 +251,20 @@ fn main() {
              ({REGRESSION_FACTOR}x the committed {committed:.1} us baseline)"
         );
         println!("regression check passed");
+    }
+
+    if config.overhead_check {
+        let (plain, observed) = measure_overhead(config.rounds, config.trials);
+        let limit = plain * OVERHEAD_FACTOR;
+        println!(
+            "overhead check: plain {plain:.1} us vs observed {observed:.1} us \
+             (limit {limit:.1} us)"
+        );
+        assert!(
+            observed <= limit,
+            "telemetry overhead too high: observed {observed:.1} us > {limit:.1} us \
+             ({OVERHEAD_FACTOR}x the plain {plain:.1} us mean)"
+        );
+        println!("overhead check passed");
     }
 }

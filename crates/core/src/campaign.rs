@@ -15,12 +15,15 @@
 //! sinks over the same engine.
 
 use crate::classify::{classify, Outcome, RunReport};
+use crate::json::Json;
 use crate::memfault::{MemFaultModel, MemTarget};
 use crate::sink::{CollectSink, TrialSink};
 use crate::spec::{InjectionSpec, MemorySpec};
 use crate::stats::CampaignStats;
 use crate::system::System;
+use crate::telemetry::{outcome_rows, EngineTelemetry};
 use certify_guest_linux::MgmtScript;
+use certify_obs::{Clock, EngineMetrics, PhaseSample, ProgressTracker};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -219,8 +222,9 @@ pub struct TrialRunner {
 }
 
 impl TrialRunner {
-    /// Runs one seeded trial.
-    pub fn run_trial(&self, seed: u64) -> TrialResult {
+    /// Builds the seeded system for one trial: board + guests +
+    /// installed injectors, not yet stepped.
+    fn build_system(&self, seed: u64) -> System {
         let mut system = if self.rtos_heartbeat {
             System::new_with_heartbeat(Arc::clone(&self.script))
         } else {
@@ -232,8 +236,11 @@ impl TrialRunner {
         if let Some(mem_spec) = &self.mem_spec {
             system.install_mem_injector(Arc::clone(mem_spec), seed.wrapping_add(MEM_SEED_OFFSET));
         }
-        system.run(self.steps);
-        let report = classify(&system);
+        system
+    }
+
+    /// Assembles the trial result from a classified report.
+    fn result(seed: u64, report: RunReport) -> TrialResult {
         TrialResult {
             seed,
             outcome: report.outcome,
@@ -241,6 +248,61 @@ impl TrialRunner {
             mem_injection_count: report.mem_injections.iter().filter(|r| r.applied()).count(),
             report,
         }
+    }
+
+    /// The step at which an injection window first opens: the earliest
+    /// window start across both specs (a spec with no windows is armed
+    /// from step 0). Steps before it are the trial's steady-state
+    /// phase; with no injector at all the whole run is steady state.
+    fn injection_open_step(&self) -> u64 {
+        let spec_open = |windows: &[crate::spec::InjectionWindow]| {
+            windows.iter().map(|w| w.start).min().unwrap_or(0)
+        };
+        let reg = self.spec.as_ref().map(|s| spec_open(&s.windows));
+        let mem = self.mem_spec.as_ref().map(|s| spec_open(&s.windows));
+        match (reg, mem) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => self.steps,
+        }
+        .min(self.steps)
+    }
+
+    /// Runs one seeded trial.
+    pub fn run_trial(&self, seed: u64) -> TrialResult {
+        let mut system = self.build_system(seed);
+        system.run(self.steps);
+        Self::result(seed, classify(&system))
+    }
+
+    /// Runs one seeded trial with phase timing: the same steps and the
+    /// same result as [`TrialRunner::run_trial`] (pinned by
+    /// `tests/hotpath_equivalence.rs`), plus a [`PhaseSample`] of how
+    /// long boot, steady state, the injection-armed phase and
+    /// classification took on `clock`.
+    ///
+    /// The phase split leans on `System::run` being a plain
+    /// incremental step loop: `run(a); run(b)` is `run(a + b)`, so
+    /// timing the run in two slices cannot perturb the trial.
+    pub fn run_trial_observed(&self, seed: u64, clock: &dyn Clock) -> (TrialResult, PhaseSample) {
+        let t0 = clock.now_ns();
+        let mut system = self.build_system(seed);
+        let t1 = clock.now_ns();
+        let split = self.injection_open_step();
+        system.run(split);
+        let t2 = clock.now_ns();
+        system.run(self.steps - split);
+        let t3 = clock.now_ns();
+        let trial = Self::result(seed, classify(&system));
+        let t4 = clock.now_ns();
+        let sample = PhaseSample {
+            boot_ns: t1.saturating_sub(t0),
+            steady_ns: t2.saturating_sub(t1),
+            injection_ns: t3.saturating_sub(t2),
+            classify_ns: t4.saturating_sub(t3),
+        };
+        (trial, sample)
     }
 }
 
@@ -257,6 +319,23 @@ pub struct TrialResult {
     pub mem_injection_count: usize,
     /// The full classified report.
     pub report: RunReport,
+}
+
+impl TrialResult {
+    /// The trial as a JSON value (via [`crate::json`]): seed, outcome,
+    /// injection counts and the full [`RunReport::to_json`] report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::U64(self.seed)),
+            ("outcome", Json::str(self.outcome.to_string())),
+            ("injection_count", Json::U64(self.injection_count as u64)),
+            (
+                "mem_injection_count",
+                Json::U64(self.mem_injection_count as u64),
+            ),
+            ("report", self.report.to_json()),
+        ])
+    }
 }
 
 /// A campaign: `trials` seeded runs of one scenario.
@@ -391,7 +470,7 @@ impl Campaign {
         workers: usize,
         sink: &mut S,
     ) -> CampaignStats {
-        self.run_parallel_streamed_instrumented(workers, sink).0
+        self.run_parallel_streamed_engine(workers, sink, None).0
     }
 
     /// [`Campaign::run_parallel_streamed`] plus engine telemetry: the
@@ -403,6 +482,41 @@ impl Campaign {
         workers: usize,
         sink: &mut S,
     ) -> (CampaignStats, usize) {
+        self.run_parallel_streamed_engine(workers, sink, None)
+    }
+
+    /// [`Campaign::run_parallel_streamed`] with full observability:
+    /// per-trial phase timings fold into `telemetry.metrics` and the
+    /// consumer emits a progress snapshot to `telemetry.progress`
+    /// every `progress_every` deliveries (plus a final one).
+    ///
+    /// Telemetry is write-only for the engine — sink deliveries and
+    /// the returned [`CampaignStats`] are bit-identical to an
+    /// unobserved run of the same seeds, whatever clock is plugged in.
+    pub fn run_parallel_streamed_observed<S: TrialSink + ?Sized>(
+        &self,
+        workers: usize,
+        sink: &mut S,
+        telemetry: &mut EngineTelemetry<'_>,
+    ) -> CampaignStats {
+        self.run_parallel_streamed_engine(workers, sink, Some(telemetry))
+            .0
+    }
+
+    /// The streamed parallel engine behind all three public runners;
+    /// `telemetry: None` compiles the observability paths down to
+    /// no-ops.
+    fn run_parallel_streamed_engine<S: TrialSink + ?Sized>(
+        &self,
+        workers: usize,
+        sink: &mut S,
+        mut telemetry: Option<&mut EngineTelemetry<'_>>,
+    ) -> (CampaignStats, usize) {
+        // Copy the clock reference out (it is `&'a dyn Clock`, Copy)
+        // so workers can read it without borrowing the bundle the
+        // consumer mutates.
+        let clock = telemetry.as_ref().map(|t| t.clock);
+        let folded = Mutex::new(EngineMetrics::default());
         let workers = workers.max(1).min(self.trials.max(1));
         let runner = self.scenario.runner();
         let trials = self.trials;
@@ -424,7 +538,8 @@ impl Campaign {
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                let (runner, shared, ready, space) = (&runner, &shared, &ready, &space);
+                let (runner, shared, ready, space, folded) =
+                    (&runner, &shared, &ready, &space, &folded);
                 scope.spawn(move || {
                     // On panic (poisoned lock or unwind mid-trial),
                     // wake everyone so the scope can tear down instead
@@ -434,6 +549,10 @@ impl Campaign {
                         ready,
                         space,
                     };
+                    // Observed runs fold phase timings thread-locally
+                    // and merge once at exit — no locking on the trial
+                    // hot path.
+                    let mut local = clock.map(|_| EngineMetrics::default());
                     loop {
                         let seq = {
                             let mut state = shared.lock().expect("campaign engine lock");
@@ -453,13 +572,28 @@ impl Campaign {
                             }
                             seq
                         };
-                        let trial = runner.run_trial(base_seed + seq as u64);
+                        let trial = match (clock, local.as_mut()) {
+                            (Some(clock), Some(local)) => {
+                                let (trial, sample) =
+                                    runner.run_trial_observed(base_seed + seq as u64, clock);
+                                local.trials.inc();
+                                local.phases.record(&sample);
+                                trial
+                            }
+                            _ => runner.run_trial(base_seed + seq as u64),
+                        };
                         let mut state = shared.lock().expect("campaign engine lock");
                         state.undelivered += 1;
                         state.high_water = state.high_water.max(state.undelivered);
                         state.buffer.insert(seq, trial);
                         drop(state);
                         ready.notify_all();
+                    }
+                    if let Some(local) = local {
+                        folded
+                            .lock()
+                            .expect("campaign telemetry lock")
+                            .merge(&local);
                     }
                 });
             }
@@ -471,6 +605,7 @@ impl Campaign {
                 ready: &ready,
                 space: &space,
             };
+            let tracker = clock.map(|clock| ProgressTracker::new(clock, None, trials as u64));
             for seq in 0..trials {
                 let trial = {
                     let mut state = shared.lock().expect("campaign engine lock");
@@ -489,6 +624,15 @@ impl Campaign {
                 state.delivered += 1;
                 drop(state);
                 space.notify_all();
+                if let (Some(telemetry), Some(tracker)) = (telemetry.as_deref_mut(), &tracker) {
+                    let done = seq + 1;
+                    let due = telemetry.progress_every > 0 && done % telemetry.progress_every == 0;
+                    if due || done == trials {
+                        let snapshot =
+                            tracker.snapshot(done as u64, outcome_rows(&stats.distribution));
+                        telemetry.progress.on_progress(&snapshot);
+                    }
+                }
             }
         });
 
@@ -496,6 +640,16 @@ impl Campaign {
             .into_inner()
             .expect("campaign engine lock")
             .high_water;
+        if let Some(telemetry) = telemetry {
+            telemetry
+                .metrics
+                .merge(&folded.into_inner().expect("campaign telemetry lock"));
+            telemetry.metrics.reorder_residency.set(high_water as u64);
+            telemetry.metrics.sink_rows.add(trials as u64);
+            if let Some(bytes) = sink.bytes_written() {
+                telemetry.metrics.sink_bytes.add(bytes);
+            }
+        }
         (stats, high_water)
     }
 }
@@ -625,6 +779,18 @@ impl CampaignResult {
             CampaignStats::attribute_regions(trial, &mut map);
         }
         map
+    }
+
+    /// The buffered campaign as a JSON value: the scenario name and
+    /// every trial through [`TrialResult::to_json`], in seed order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::str(self.scenario_name.clone())),
+            (
+                "trials",
+                Json::Arr(self.trials.iter().map(TrialResult::to_json).collect()),
+            ),
+        ])
     }
 }
 

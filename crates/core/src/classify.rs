@@ -29,6 +29,7 @@
 //!   RAM (or the published comm state), undetected.
 
 use crate::injector::InjectionRecord;
+use crate::json::Json;
 use crate::memfault::MemLocus;
 use crate::meminjector::MemInjectionRecord;
 use crate::system::System;
@@ -115,6 +116,59 @@ pub struct RunReport {
     /// Alarms raised by the root-side heartbeat safety monitor
     /// (extension E5b: inconsistent-state detection).
     pub monitor_alarms: usize,
+}
+
+impl RunReport {
+    /// The report as a JSON value (via [`crate::json`]) — the ROADMAP
+    /// export surface. Mirrors the CSV columns: faults render through
+    /// their `Display` impls, evidence fields keep their names, and
+    /// absent observations are `null`.
+    pub fn to_json(&self) -> Json {
+        let faults = |records: &[String]| Json::Arr(records.iter().map(Json::str).collect());
+        let injections: Vec<String> = self
+            .injections
+            .iter()
+            .flat_map(|r| r.faults.iter().map(|f| f.to_string()))
+            .collect();
+        let mem_injections: Vec<String> = self
+            .mem_injections
+            .iter()
+            .flat_map(|r| r.faults.iter().map(|f| f.to_string()))
+            .collect();
+        Json::obj([
+            ("outcome", Json::str(self.outcome.to_string())),
+            ("injections", faults(&injections)),
+            ("mem_injections", faults(&mem_injections)),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
+            (
+                "cell_state",
+                self.cell_state
+                    .map(|s| Json::str(s.to_string()))
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "cpu1_park",
+                self.cpu1_park
+                    .as_deref()
+                    .map(Json::str)
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "serial_line_count",
+                Json::U64(self.serial_line_count as u64),
+            ),
+            (
+                "watchdog_first_expiry",
+                self.watchdog_first_expiry
+                    .map(Json::U64)
+                    .unwrap_or(Json::Null),
+            ),
+            ("monitor_alarms", Json::U64(self.monitor_alarms as u64)),
+        ])
+    }
 }
 
 impl fmt::Display for RunReport {

@@ -42,7 +42,11 @@
 //!   scenarios to, and stats back from, `certify-shard` worker
 //!   processes;
 //! * [`json`] — the hand-rolled JSON writer behind `certify-lint
-//!   --json` and future report exports;
+//!   --json`, the report exports (`RunReport::to_json` and friends)
+//!   and the telemetry snapshots;
+//! * [`telemetry`] — the `certify_obs` bridge: the
+//!   [`telemetry::EngineTelemetry`] bundle observed campaign runs
+//!   record into, and JSON views of metrics and progress snapshots;
 //! * [`profiler`] — golden-run profiling that ranks handler
 //!   activations and (re)derives the paper's three injection points.
 //!
@@ -73,6 +77,7 @@ pub mod sink;
 pub mod spec;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 
 pub use campaign::{Campaign, CampaignResult, Scenario, TrialResult, TrialRunner};
 pub use classify::{classify, Outcome, RunReport};
@@ -90,3 +95,7 @@ pub use sink::{CollectSink, NullSink, TrialSink};
 pub use spec::{InjectionSpec, InjectionWindow, Intensity, MemorySpec};
 pub use stats::{CampaignStats, CountSummary};
 pub use system::System;
+pub use telemetry::{
+    engine_metrics_to_json, histogram_to_json, progress_to_json, shard_metrics_to_json,
+    EngineTelemetry,
+};

@@ -24,6 +24,14 @@ use crate::campaign::TrialResult;
 pub trait TrialSink {
     /// Delivers trial number `seq` (0-based, in seed order).
     fn accept(&mut self, seq: usize, trial: TrialResult);
+
+    /// Bytes this sink has written to its output so far, if it
+    /// measures that (`None` for sinks with no byte-shaped output).
+    /// Observed campaign runs sample this into the `sink_bytes`
+    /// telemetry counter after the last delivery.
+    fn bytes_written(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A sink that drops every trial: run a campaign purely for its

@@ -9,6 +9,7 @@
 
 use crate::campaign::TrialResult;
 use crate::classify::Outcome;
+use crate::json::Json;
 use crate::memfault::MemRegionKind;
 use crate::sink::TrialSink;
 use serde::{Deserialize, Serialize};
@@ -221,6 +222,69 @@ impl CampaignStats {
         self.watchdog_expiry_sum += other.watchdog_expiry_sum;
         self.monitor_detected += other.monitor_detected;
         self.monitor_alarms_total += other.monitor_alarms_total;
+    }
+
+    /// The aggregates as a JSON value (via [`crate::json`]): the
+    /// outcome distribution keyed by the paper's outcome names, the
+    /// per-region attribution as an array of rows, and every
+    /// detection counter — the machine-readable twin of the Display
+    /// rendering.
+    pub fn to_json(&self) -> Json {
+        let count_summary = |s: &CountSummary| {
+            Json::obj([
+                ("min", Json::U64(s.min as u64)),
+                ("max", Json::U64(s.max as u64)),
+                ("total", Json::U64(s.total)),
+            ])
+        };
+        Json::obj([
+            ("scenario", Json::str(self.scenario_name.clone())),
+            ("trials", Json::U64(self.trials as u64)),
+            (
+                "distribution",
+                Json::Obj(
+                    self.distribution
+                        .iter()
+                        .map(|(outcome, count)| (outcome.to_string(), Json::U64(*count as u64)))
+                        .collect(),
+                ),
+            ),
+            ("injected_trials", Json::U64(self.injected_trials as u64)),
+            (
+                "mem_injected_trials",
+                Json::U64(self.mem_injected_trials as u64),
+            ),
+            (
+                "mem_region_distribution",
+                Json::Arr(
+                    self.mem_region_distribution
+                        .iter()
+                        .map(|((region, outcome), count)| {
+                            Json::obj([
+                                ("region", Json::str(region.to_string())),
+                                ("outcome", Json::str(outcome.to_string())),
+                                ("count", Json::U64(*count as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("injections", count_summary(&self.injections)),
+            ("mem_injections", count_summary(&self.mem_injections)),
+            (
+                "watchdog_detected",
+                Json::U64(self.watchdog_detected as u64),
+            ),
+            (
+                "watchdog_mean_latency_steps",
+                Json::U64(self.watchdog_mean_latency()),
+            ),
+            ("monitor_detected", Json::U64(self.monitor_detected as u64)),
+            (
+                "monitor_alarms_total",
+                Json::U64(self.monitor_alarms_total as u64),
+            ),
+        ])
     }
 }
 

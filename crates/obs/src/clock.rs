@@ -1,0 +1,137 @@
+//! The deterministic timing discipline.
+//!
+//! The framework's whole claim rests on seeded replay, and wall-clock
+//! reads are a nondeterminism source — so the determinism audit
+//! (`certify-lint audit`) forbids `Instant::now` outright on the
+//! trial-hot-path crates. Telemetry still needs real time: every
+//! wall-clock read in the workspace therefore goes through the
+//! [`Clock`] trait. [`MonotonicClock`] is the single audited
+//! exception (allowlisted for this file only in
+//! `crates/lint/determinism-allow.txt`); [`ManualClock`] gives tests
+//! fully scripted time, which is how the equivalence suite proves
+//! timing can never leak into trial results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock. Implementations must be monotonic
+/// (successive reads never decrease) but need not be wall time —
+/// [`ManualClock`] only moves when a test advances it.
+pub trait Clock {
+    /// Nanoseconds since this clock's arbitrary origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real monotonic clock, anchored at construction time.
+///
+/// This is the only place in the workspace that reads `Instant::now`
+/// (audited: telemetry-only — the value feeds histograms and progress
+/// snapshots, never a trial).
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A scripted clock for tests: time only moves when told to.
+///
+/// The counter is atomic so one `ManualClock` can be shared across the
+/// engine's worker threads (`&ManualClock` is `Sync`), keeping
+/// observed test runs fully deterministic.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at 0 ns.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// A clock frozen at `now_ns`.
+    pub fn at(now_ns: u64) -> ManualClock {
+        ManualClock {
+            now_ns: AtomicU64::new(now_ns),
+        }
+    }
+
+    /// Advances the clock by `delta_ns` (saturating).
+    pub fn advance(&self, delta_ns: u64) {
+        self.now_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |now| {
+                Some(now.saturating_add(delta_ns))
+            })
+            .expect("fetch_update closure never fails");
+    }
+
+    /// Jumps the clock to `now_ns`. Monotonicity is the caller's
+    /// contract; tests that jump backwards get what they asked for.
+    pub fn set(&self, now_ns: u64) {
+        self.now_ns.store(now_ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_fully_scripted() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_ns(), 250);
+        clock.advance(u64::MAX);
+        assert_eq!(clock.now_ns(), u64::MAX, "advance saturates");
+        clock.set(42);
+        assert_eq!(clock.now_ns(), 42);
+        assert_eq!(ManualClock::at(7).now_ns(), 7);
+    }
+
+    #[test]
+    fn manual_clock_is_shareable_across_threads() {
+        let clock = ManualClock::new();
+        std::thread::scope(|scope| {
+            let clock = &clock;
+            for _ in 0..4 {
+                scope.spawn(move || clock.advance(10));
+            }
+        });
+        assert_eq!(clock.now_ns(), 40);
+    }
+}

@@ -1,0 +1,185 @@
+//! Live campaign progress: snapshots, observers, and the tracker that
+//! derives throughput and ETA.
+//!
+//! The streamed engine and the shard coordinator call a
+//! [`ProgressObserver`] with periodic [`ProgressSnapshot`]s — the
+//! worker `Stats` frames that previously evaporated on validation,
+//! surfaced as throughput / outcome-histogram / ETA views. Observers
+//! are pure consumers: nothing they see or do can influence trial
+//! results (pinned by the instrumented-vs-uninstrumented equivalence
+//! tests).
+
+use crate::clock::Clock;
+
+/// One progress observation of a running campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// The reporting shard, or `None` for whole-campaign snapshots
+    /// (the in-process engine, or the coordinator's final merge).
+    pub source: Option<u32>,
+    /// Trials completed by the source so far.
+    pub done: u64,
+    /// Trials the source will run in total.
+    pub total: u64,
+    /// Nanoseconds since the source started.
+    pub elapsed_ns: u64,
+    /// Completion throughput so far (0.0 before any time elapsed).
+    pub rows_per_sec: f64,
+    /// Estimated nanoseconds to completion, when the rate is non-zero.
+    pub eta_ns: Option<u64>,
+    /// Outcome histogram of the completed trials, as rendered outcome
+    /// names with counts, in deterministic (classification
+    /// precedence) order.
+    pub outcomes: Vec<(String, u64)>,
+}
+
+/// A consumer of [`ProgressSnapshot`]s.
+pub trait ProgressObserver {
+    /// Called with each new snapshot, in source-local order.
+    fn on_progress(&mut self, snapshot: &ProgressSnapshot);
+}
+
+/// Discards every snapshot — the unobserved default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ProgressObserver for NullObserver {
+    fn on_progress(&mut self, _snapshot: &ProgressSnapshot) {}
+}
+
+/// Buffers every snapshot (tests, post-run reporting).
+#[derive(Debug, Clone, Default)]
+pub struct CollectObserver {
+    /// The snapshots received, in delivery order.
+    pub snapshots: Vec<ProgressSnapshot>,
+}
+
+impl CollectObserver {
+    /// An empty collector.
+    pub fn new() -> CollectObserver {
+        CollectObserver::default()
+    }
+}
+
+impl ProgressObserver for CollectObserver {
+    fn on_progress(&mut self, snapshot: &ProgressSnapshot) {
+        self.snapshots.push(snapshot.clone());
+    }
+}
+
+/// Any `FnMut(&ProgressSnapshot)` closure is an observer.
+impl<F: FnMut(&ProgressSnapshot)> ProgressObserver for F {
+    fn on_progress(&mut self, snapshot: &ProgressSnapshot) {
+        self(snapshot)
+    }
+}
+
+/// Derives throughput and ETA snapshots from a [`Clock`], anchored at
+/// construction.
+#[derive(Clone, Copy)]
+pub struct ProgressTracker<'c> {
+    clock: &'c dyn Clock,
+    start_ns: u64,
+    source: Option<u32>,
+    total: u64,
+}
+
+impl<'c> ProgressTracker<'c> {
+    /// A tracker for `total` trials from `source`, anchored at the
+    /// clock's current reading.
+    pub fn new(clock: &'c dyn Clock, source: Option<u32>, total: u64) -> ProgressTracker<'c> {
+        ProgressTracker {
+            start_ns: clock.now_ns(),
+            clock,
+            source,
+            total,
+        }
+    }
+
+    /// A snapshot for `done` completed trials with the given outcome
+    /// histogram.
+    pub fn snapshot(&self, done: u64, outcomes: Vec<(String, u64)>) -> ProgressSnapshot {
+        let elapsed_ns = self.clock.now_ns().saturating_sub(self.start_ns);
+        let rows_per_sec = if elapsed_ns == 0 {
+            0.0
+        } else {
+            done as f64 * 1e9 / elapsed_ns as f64
+        };
+        let remaining = self.total.saturating_sub(done);
+        let eta_ns = if rows_per_sec > 0.0 {
+            Some((remaining as f64 * 1e9 / rows_per_sec) as u64)
+        } else {
+            None
+        };
+        ProgressSnapshot {
+            source: self.source,
+            done,
+            total: self.total,
+            elapsed_ns,
+            rows_per_sec,
+            eta_ns,
+            outcomes,
+        }
+    }
+}
+
+impl std::fmt::Debug for ProgressTracker<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressTracker")
+            .field("start_ns", &self.start_ns)
+            .field("source", &self.source)
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn tracker_derives_rate_and_eta() {
+        let clock = ManualClock::new();
+        let tracker = ProgressTracker::new(&clock, Some(2), 100);
+        clock.advance(1_000_000_000); // 1 s
+        let snap = tracker.snapshot(25, vec![("correct".into(), 25)]);
+        assert_eq!(snap.source, Some(2));
+        assert_eq!(snap.done, 25);
+        assert_eq!(snap.total, 100);
+        assert_eq!(snap.elapsed_ns, 1_000_000_000);
+        assert_eq!(snap.rows_per_sec, 25.0);
+        // 75 remaining at 25/s = 3 s.
+        assert_eq!(snap.eta_ns, Some(3_000_000_000));
+        assert_eq!(snap.outcomes, vec![("correct".to_string(), 25)]);
+    }
+
+    #[test]
+    fn zero_elapsed_means_no_rate_and_no_eta() {
+        let clock = ManualClock::new();
+        let tracker = ProgressTracker::new(&clock, None, 10);
+        let snap = tracker.snapshot(0, Vec::new());
+        assert_eq!(snap.rows_per_sec, 0.0);
+        assert_eq!(snap.eta_ns, None);
+    }
+
+    #[test]
+    fn observers_collect_and_close_over() {
+        let clock = ManualClock::at(5);
+        let tracker = ProgressTracker::new(&clock, None, 4);
+        clock.advance(10);
+        let snap = tracker.snapshot(4, Vec::new());
+
+        let mut collect = CollectObserver::new();
+        collect.on_progress(&snap);
+        assert_eq!(collect.snapshots.len(), 1);
+        assert_eq!(collect.snapshots[0].done, 4);
+
+        let mut seen = 0u64;
+        let mut closure = |s: &ProgressSnapshot| seen += s.done;
+        closure.on_progress(&snap);
+        assert_eq!(seen, 4);
+
+        NullObserver.on_progress(&snap); // must not blow up
+    }
+}

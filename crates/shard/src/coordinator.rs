@@ -34,10 +34,14 @@
 //! engine. Detecting wedged-but-alive workers (e.g. a stats-frame
 //! heartbeat deadline) is future transport work.
 
-use crate::protocol::{read_frame, write_frame, Frame, Handshake};
+use crate::protocol::{read_frame, write_frame, Frame, Handshake, ProtocolError};
+use certify_core::telemetry::outcome_rows;
 use certify_core::{Campaign, CampaignStats};
 use certify_lint::{has_errors, lint_partition, lint_scenario, Diagnostic};
-use std::collections::BTreeMap;
+use certify_obs::{
+    Clock, CountingReader, ProgressObserver, ProgressSnapshot, ProgressTracker, ShardMetrics,
+};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::io::{self, Write};
 use std::path::PathBuf;
@@ -119,6 +123,14 @@ pub struct ShardedRun {
     pub worker_failures: u32,
     /// The contiguous `(start, len)` range each shard executed.
     pub shard_ranges: Vec<(usize, usize)>,
+    /// Transport metrics merged across all shards: rows, frames,
+    /// frame bytes, CRC rejects, retries and wasted re-run trials.
+    /// Counters are always collected (they are deterministic counts);
+    /// `elapsed_ns` (and thus `rows_per_sec`) is populated only by
+    /// [`run_sharded_observed`], which has a clock.
+    pub metrics: ShardMetrics,
+    /// The same metrics, per shard.
+    pub shard_metrics: Vec<ShardMetrics>,
 }
 
 /// Why a sharded run failed.
@@ -232,6 +244,11 @@ struct Coord {
     buffered: Vec<usize>,
     /// Each shard's final stats, once its `Done` frame validated.
     done: Vec<Option<CampaignStats>>,
+    /// Per-shard transport metrics, folded in by each attempt.
+    metrics: Vec<ShardMetrics>,
+    /// Progress snapshots queued by shard readers for the consumer to
+    /// hand to the observer (empty unless the run is observed).
+    snapshots: VecDeque<ProgressSnapshot>,
     /// Failed worker attempts (including recovered ones).
     failures: u32,
     /// First fatal error; set alongside `abort`.
@@ -281,8 +298,44 @@ impl Signals {
 pub fn run_sharded(
     campaign: &Campaign,
     opts: &ShardOptions,
-    mut csv_out: Option<&mut dyn Write>,
+    csv_out: Option<&mut dyn Write>,
 ) -> Result<ShardedRun, ShardError> {
+    run_sharded_engine(campaign, opts, csv_out, None)
+}
+
+/// [`run_sharded`] with live observability: each worker's periodic
+/// `Stats` frames become per-shard [`ProgressSnapshot`]s (source =
+/// the shard index) delivered to `observer` from the consumer thread,
+/// followed by one final whole-campaign snapshot (source = `None`),
+/// and the returned [`ShardedRun::metrics`] carry per-shard elapsed
+/// time and rows/sec taken on `clock`.
+///
+/// Telemetry never feeds back into execution: stats, CSV bytes and
+/// delivery order are identical to an unobserved [`run_sharded`].
+pub fn run_sharded_observed(
+    campaign: &Campaign,
+    opts: &ShardOptions,
+    csv_out: Option<&mut dyn Write>,
+    clock: &(dyn Clock + Sync),
+    observer: &mut dyn ProgressObserver,
+) -> Result<ShardedRun, ShardError> {
+    run_sharded_engine(campaign, opts, csv_out, Some((clock, observer)))
+}
+
+/// The coordinator behind both public entry points; `telemetry: None`
+/// skips clocks and snapshots but still counts transport metrics.
+fn run_sharded_engine(
+    campaign: &Campaign,
+    opts: &ShardOptions,
+    mut csv_out: Option<&mut dyn Write>,
+    telemetry: Option<(&(dyn Clock + Sync), &mut dyn ProgressObserver)>,
+) -> Result<ShardedRun, ShardError> {
+    // Split the bundle so shard readers can share the clock while the
+    // consumer holds the observer mutably.
+    let (clock, mut observer) = match telemetry {
+        Some((clock, observer)) => (Some(clock), Some(observer)),
+        None => (None, None),
+    };
     // Refuse a statically broken scenario before touching a worker:
     // a dead-window or unsatisfiable-rate campaign would complete
     // green across every shard and certify nothing.
@@ -313,8 +366,12 @@ pub fn run_sharded(
             rows: 0,
             worker_failures: 0,
             shard_ranges: Vec::new(),
+            metrics: ShardMetrics::default(),
+            shard_metrics: Vec::new(),
         });
     }
+
+    let tracker = clock.map(|clock| ProgressTracker::new(clock, None, trials as u64));
 
     let signals = Signals {
         state: Mutex::new(Coord {
@@ -322,6 +379,8 @@ pub fn run_sharded(
             next_deliver: 0,
             buffered: vec![0; ranges.len()],
             done: vec![None; ranges.len()],
+            metrics: vec![ShardMetrics::default(); ranges.len()],
+            snapshots: VecDeque::new(),
             failures: 0,
             fatal: None,
             abort: false,
@@ -334,12 +393,18 @@ pub fn run_sharded(
         for (shard, &(start, len)) in ranges.iter().enumerate() {
             let (signals, worker, campaign, opts) = (&signals, &worker, campaign, opts);
             scope.spawn(move || {
-                run_shard(signals, worker, campaign, opts, shard, start, len);
+                run_shard(signals, worker, campaign, opts, shard, start, len, clock);
             });
         }
         // The caller's thread is the consumer: drain the reorder
         // buffer in global seed order.
-        deliver_rows(&signals, &ranges, trials as u64, csv_out);
+        deliver_rows(
+            &signals,
+            &ranges,
+            trials as u64,
+            csv_out,
+            observer.as_deref_mut(),
+        );
     });
 
     let state = signals.state.into_inner().expect("coordinator lock");
@@ -350,21 +415,38 @@ pub fn run_sharded(
     for shard_stats in state.done.iter().flatten() {
         stats.merge(shard_stats);
     }
+    let mut metrics = ShardMetrics::default();
+    for shard_metrics in &state.metrics {
+        metrics.merge(shard_metrics);
+    }
+    if let (Some(tracker), Some(observer)) = (&tracker, observer) {
+        // The closing whole-campaign snapshot: every row delivered,
+        // outcomes from the merged stats.
+        let snapshot = tracker.snapshot(trials as u64, outcome_rows(&stats.distribution));
+        observer.on_progress(&snapshot);
+    }
     Ok(ShardedRun {
         stats,
         rows: trials as u64,
         worker_failures: state.failures,
         shard_ranges: ranges,
+        metrics,
+        shard_metrics: state.metrics,
     })
 }
 
-/// The consumer loop: deliver rows `0..total` in order, then wait for
-/// every shard's `Done` stats.
+/// The consumer loop: deliver rows `0..total` in order, hand queued
+/// progress snapshots to `observer`, then wait for every shard's
+/// `Done` stats.
 fn deliver_rows(
     signals: &Signals,
     ranges: &[(usize, usize)],
     total: u64,
     mut csv_out: Option<&mut dyn Write>,
+    // The explicit `+ '_` object bound keeps the observer reborrowable
+    // by the caller after this returns (`&mut dyn Trait` is invariant
+    // in the trait object's default lifetime).
+    mut observer: Option<&mut (dyn ProgressObserver + '_)>,
 ) {
     let shard_of = |seq: u64| {
         ranges
@@ -373,20 +455,43 @@ fn deliver_rows(
             .expect("every sequence belongs to a shard")
     };
     let mut delivered = 0u64;
+    // Snapshots drained under the lock, emitted outside it — observer
+    // code must never run while holding the coordinator mutex.
+    let mut pending: Vec<ProgressSnapshot> = Vec::new();
+    let mut emit = |pending: &mut Vec<ProgressSnapshot>| {
+        for snapshot in pending.drain(..) {
+            if let Some(observer) = observer.as_deref_mut() {
+                observer.on_progress(&snapshot);
+            }
+        }
+    };
     loop {
         let mut state = signals.state.lock().expect("coordinator lock");
+        pending.extend(state.snapshots.drain(..));
         if state.abort {
             return;
         }
         if delivered == total {
             // All rows are out; wait for the last `Done` frames.
             if state.done.iter().all(|d| d.is_some()) {
+                drop(state);
+                emit(&mut pending);
                 return;
+            }
+            if !pending.is_empty() {
+                drop(state);
+                emit(&mut pending);
+                continue;
             }
             drop(signals.ready.wait(state).expect("coordinator lock"));
             continue;
         }
         let Some(row) = state.rows.remove(&delivered) else {
+            if !pending.is_empty() {
+                drop(state);
+                emit(&mut pending);
+                continue;
+            }
             drop(signals.ready.wait(state).expect("coordinator lock"));
             continue;
         };
@@ -394,6 +499,7 @@ fn deliver_rows(
         state.next_deliver = delivered + 1;
         drop(state);
         signals.space.notify_all();
+        emit(&mut pending);
         if let Some(out) = csv_out.as_deref_mut() {
             if let Err(e) = out.write_all(&row) {
                 signals.fail(ShardError::Output(e));
@@ -405,6 +511,7 @@ fn deliver_rows(
 }
 
 /// One shard's lifecycle: spawn, stream, validate, retry.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     signals: &Signals,
     worker: &PathBuf,
@@ -413,7 +520,9 @@ fn run_shard(
     shard: usize,
     start: usize,
     len: usize,
+    clock: Option<&(dyn Clock + Sync)>,
 ) {
+    let started_ns = clock.map(|clock| clock.now_ns());
     for attempt in 1..=opts.max_attempts.max(1) {
         if signals.state.lock().expect("coordinator lock").abort {
             return;
@@ -422,8 +531,17 @@ fn run_shard(
             .sabotage
             .filter(|s| s.shard == shard && attempt == 1)
             .map(|s| s.after_rows);
-        match run_attempt(signals, worker, campaign, opts, shard, start, len, sabotage) {
-            Ok(()) => return,
+        match run_attempt(
+            signals, worker, campaign, opts, shard, start, len, sabotage, clock,
+        ) {
+            Ok(()) => {
+                if let (Some(clock), Some(started_ns)) = (clock, started_ns) {
+                    let elapsed = clock.now_ns().saturating_sub(started_ns);
+                    let mut state = signals.state.lock().expect("coordinator lock");
+                    state.metrics[shard].elapsed_ns.set(elapsed);
+                }
+                return;
+            }
             Err(error) => {
                 let mut state = signals.state.lock().expect("coordinator lock");
                 state.failures += 1;
@@ -464,6 +582,7 @@ fn run_attempt(
     start: usize,
     len: usize,
     sabotage: Option<u64>,
+    clock: Option<&(dyn Clock + Sync)>,
 ) -> Result<(), String> {
     let mut child = Command::new(worker)
         .stdin(Stdio::piped())
@@ -490,14 +609,34 @@ fn run_attempt(
     }
 
     let stdout = child.stdout.take().expect("stdout was piped");
-    let mut frames = io::BufReader::new(stdout);
+    // Count the bytes pulled off the pipe underneath the frame
+    // buffer: for a drained stream this is the shard's wire volume.
+    let mut frames = io::BufReader::new(CountingReader::new(stdout));
     let end = (start + len) as u64;
     let mut expected = start as u64;
     let mut received = 0u64;
     let mut killed = false;
+    let mut frame_count = 0u64;
+    let mut crc_rejects = 0u64;
+    let tracker = clock.map(|clock| ProgressTracker::new(clock, Some(shard as u32), len as u64));
+    // `Ok(Some(stats))` = clean done frame; `Ok(None)` = the run was
+    // aborted elsewhere and this reader is dying quietly.
     let outcome = loop {
-        match read_frame(&mut frames) {
-            Ok(Some(Frame::TrialRow { seq, row })) => {
+        let frame = match read_frame(&mut frames) {
+            Ok(Some(frame)) => {
+                frame_count += 1;
+                frame
+            }
+            Ok(None) => break Err("worker stream ended before its done frame".into()),
+            Err(e) => {
+                if matches!(e, ProtocolError::BadCrc { .. }) {
+                    crc_rejects += 1;
+                }
+                break Err(format!("worker stream failed: {e}"));
+            }
+        };
+        match frame {
+            Frame::TrialRow { seq, row } => {
                 if seq != expected {
                     break Err(format!(
                         "row sequence violation: got {seq}, expected {expected} in [{start}, {end})"
@@ -515,8 +654,7 @@ fn run_attempt(
                 }
                 if state.abort {
                     drop(state);
-                    discard_child(child);
-                    return Ok(()); // dying quietly; fatal is already set
+                    break Ok(None); // dying quietly; fatal is already set
                 }
                 // Rows before the delivery front were already written
                 // out by a previous attempt; re-received copies are
@@ -533,14 +671,24 @@ fn run_attempt(
                     killed = true;
                 }
             }
-            Ok(Some(Frame::Stats { rows, .. })) => {
+            Frame::Stats { rows, stats } => {
                 if rows != received {
                     break Err(format!(
                         "stats frame claims {rows} rows, coordinator saw {received}"
                     ));
                 }
+                if let Some(tracker) = &tracker {
+                    // The worker's periodic snapshot becomes a live
+                    // per-shard progress report, queued for the
+                    // consumer to hand to the observer.
+                    let snapshot = tracker.snapshot(received, outcome_rows(&stats.distribution));
+                    let mut state = signals.state.lock().expect("coordinator lock");
+                    state.snapshots.push_back(snapshot);
+                    drop(state);
+                    signals.ready.notify_all();
+                }
             }
-            Ok(Some(Frame::Done { rows, stats })) => {
+            Frame::Done { rows, stats } => {
                 if rows != len as u64 || expected != end {
                     break Err(format!(
                         "done frame after {received} of {len} rows (claims {rows})"
@@ -552,44 +700,70 @@ fn run_attempt(
                         stats.trials
                     ));
                 }
-                break Ok(stats);
+                break Ok(Some(stats));
             }
-            Ok(Some(frame)) => break Err(format!("unexpected {} frame", frame.name())),
-            Ok(None) => break Err("worker stream ended before its done frame".into()),
-            Err(e) => break Err(format!("worker stream failed: {e}")),
+            frame => break Err(format!("unexpected {} frame", frame.name())),
         }
     };
 
-    match outcome {
+    let result = match outcome {
         // A fast worker can win the race against the sabotage SIGKILL
         // and still deliver a clean `Done`; the attempt must count as
         // failed anyway so the recovery path is exercised
         // deterministically (its rows stay valid either way).
-        Ok(_) if killed => {
+        Ok(Some(_)) if killed => {
             discard_child(child);
             Err("worker was killed mid-run (sabotage hook)".into())
         }
-        Ok(stats) => {
+        Ok(Some(stats)) => {
             // A clean `Done` must be followed by EOF and exit 0 —
             // anything else and the worker disagrees with its own
             // shutdown frame.
             let trailing = read_frame(&mut frames);
-            let status = child.wait().map_err(|e| format!("wait failed: {e}"))?;
-            if !matches!(trailing, Ok(None)) {
-                return Err("worker kept talking after its done frame".into());
+            match child.wait() {
+                Err(e) => Err(format!("wait failed: {e}")),
+                Ok(_) if !matches!(trailing, Ok(None)) => {
+                    Err("worker kept talking after its done frame".into())
+                }
+                Ok(status) if !status.success() => {
+                    Err(format!("worker exited {status} after a clean done frame"))
+                }
+                Ok(_) => {
+                    let mut state = signals.state.lock().expect("coordinator lock");
+                    state.done[shard] = Some(stats);
+                    drop(state);
+                    signals.ready.notify_all();
+                    Ok(true)
+                }
             }
-            if !status.success() {
-                return Err(format!("worker exited {status} after a clean done frame"));
-            }
-            let mut state = signals.state.lock().expect("coordinator lock");
-            state.done[shard] = Some(stats);
-            drop(state);
-            signals.ready.notify_all();
-            Ok(())
+        }
+        Ok(None) => {
+            discard_child(child);
+            Ok(false)
         }
         Err(error) => {
             discard_child(child);
             Err(error)
         }
+    };
+
+    // Fold this attempt's transport metrics, whatever its fate: a
+    // failed attempt is a retry whose `received` rows must be re-run.
+    let wire_bytes = frames.get_ref().bytes_read();
+    {
+        let mut state = signals.state.lock().expect("coordinator lock");
+        let metrics = &mut state.metrics[shard];
+        metrics.frames.add(frame_count);
+        metrics.frame_bytes.add(wire_bytes);
+        metrics.crc_rejects.add(crc_rejects);
+        match &result {
+            Ok(true) => metrics.rows.add(len as u64),
+            Ok(false) => {}
+            Err(_) => {
+                metrics.retries.inc();
+                metrics.wasted_rerun_trials.add(received);
+            }
+        }
     }
+    result.map(|_| ())
 }

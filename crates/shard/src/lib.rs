@@ -45,7 +45,8 @@ pub mod protocol;
 pub mod worker;
 
 pub use coordinator::{
-    partition, resolve_worker, run_sharded, ShardError, ShardOptions, ShardedRun,
+    partition, resolve_worker, run_sharded, run_sharded_observed, ShardError, ShardOptions,
+    ShardedRun,
 };
 pub use protocol::{crc32, read_frame, write_frame, Frame, Handshake, ProtocolError};
 pub use worker::{run_worker, RemoteSink, WorkerError};

@@ -255,6 +255,94 @@ fn worker_with_closed_output_pipe_exits_nonzero() {
     );
 }
 
+#[test]
+fn observed_sharded_run_emits_progress_and_stays_byte_identical() {
+    use certify_obs::{CollectObserver, MonotonicClock};
+    use certify_shard::run_sharded_observed;
+
+    let campaign = Campaign::new(Scenario::e3_fig3(), 240, 0xD5_2022);
+    let (expected_stats, expected_csv) = reference(&campaign);
+
+    // Small stats_every so each worker reports several times mid-run.
+    let mut opts = options(2);
+    opts.stats_every = 32;
+    let clock = MonotonicClock::new();
+    let mut observer = CollectObserver::default();
+    let mut csv = Vec::new();
+    let run = run_sharded_observed(&campaign, &opts, Some(&mut csv), &clock, &mut observer)
+        .expect("observed sharded run succeeds");
+
+    // Observation must not perturb the output.
+    assert_eq!(run.stats, expected_stats, "observed stats diverged");
+    assert_eq!(
+        String::from_utf8(csv).unwrap(),
+        expected_csv,
+        "observed CSV bytes diverged"
+    );
+
+    // Per-shard snapshots carry their shard id; exactly one final
+    // campaign-level snapshot closes the stream at 100 %.
+    let snapshots = &observer.snapshots;
+    assert!(snapshots.len() > 1, "expected mid-run snapshots");
+    for (shard, (_, len)) in run.shard_ranges.iter().enumerate() {
+        assert!(
+            snapshots
+                .iter()
+                .any(|s| s.source == Some(shard as u32) && s.total == *len as u64),
+            "no snapshot from shard {shard}"
+        );
+    }
+    let last = snapshots.last().unwrap();
+    assert_eq!(last.source, None, "final snapshot is campaign-level");
+    assert_eq!(last.done, 240);
+    assert_eq!(last.total, 240);
+
+    // Transport counters: all rows accounted, a clean wire, real time.
+    assert_eq!(run.metrics.rows.get(), 240);
+    assert!(run.metrics.frames.get() > 0, "frames were counted");
+    assert!(run.metrics.frame_bytes.get() > 0, "wire bytes were counted");
+    assert_eq!(run.metrics.crc_rejects.get(), 0);
+    assert_eq!(run.metrics.retries.get(), 0);
+    assert_eq!(run.metrics.wasted_rerun_trials.get(), 0);
+    assert!(run.metrics.elapsed_ns.high_water() > 0);
+    assert!(run.metrics.rows_per_sec() > 0.0);
+
+    // The merged view is the fold of the per-shard views.
+    assert_eq!(run.shard_metrics.len(), 2);
+    let folded_rows: u64 = run.shard_metrics.iter().map(|m| m.rows.get()).sum();
+    assert_eq!(folded_rows, run.metrics.rows.get());
+}
+
+#[test]
+fn observed_run_prices_crash_recovery_in_wasted_trials() {
+    use certify_obs::{CollectObserver, MonotonicClock};
+    use certify_shard::run_sharded_observed;
+
+    let campaign = Campaign::new(Scenario::e3_fig3(), 240, 77);
+    let (expected_stats, expected_csv) = reference(&campaign);
+
+    let mut opts = options(2).with_sabotage(1, 40);
+    opts.stats_every = 32;
+    let clock = MonotonicClock::new();
+    let mut observer = CollectObserver::default();
+    let mut csv = Vec::new();
+    let run = run_sharded_observed(&campaign, &opts, Some(&mut csv), &clock, &mut observer)
+        .expect("recovery still succeeds when observed");
+
+    assert_eq!(run.stats, expected_stats);
+    assert_eq!(String::from_utf8(csv).unwrap(), expected_csv);
+    assert!(run.worker_failures >= 1);
+
+    // The sabotaged attempt's rows are the recovery bill.
+    assert!(run.metrics.retries.get() >= 1, "retry must be counted");
+    assert!(
+        run.metrics.wasted_rerun_trials.get() > 0,
+        "killed worker's delivered rows must count as waste"
+    );
+    // Accepted rows still cover exactly the campaign.
+    assert_eq!(run.metrics.rows.get(), 240);
+}
+
 /// The acceptance-criteria run: 10 000 E3 trials across multiple OS
 /// processes, clean and with a mid-run worker kill, both
 /// byte-identical to single-process output. ~10 s in release, far

@@ -15,5 +15,6 @@ pub use certify_core as core;
 pub use certify_guest_linux as guest_linux;
 pub use certify_hypervisor as hypervisor;
 pub use certify_lint as lint;
+pub use certify_obs as obs;
 pub use certify_rtos as rtos;
 pub use certify_shard as shard;

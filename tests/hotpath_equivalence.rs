@@ -15,7 +15,10 @@
 //! * the UART's incremental line index must reproduce a naive
 //!   byte-at-a-time reassembly of real trial captures;
 //! * the E3 distribution at the bench seed keeps its committed shape
-//!   (55 panic park / 16 cpu park / 79 correct at 0xD52022).
+//!   (55 panic park / 16 cpu park / 79 correct at 0xD52022);
+//! * telemetry is inert: an instrumented run (`certify_obs` clock,
+//!   metrics and progress snapshots) produces the same stats and the
+//!   same CSV bytes as the uninstrumented engine.
 
 use certify_analysis::{campaign_to_csv, CsvSink};
 use certify_core::campaign::{Campaign, Scenario};
@@ -246,6 +249,82 @@ fn streamed_and_buffered_campaigns_agree_after_the_overhaul() {
             );
         }
     }
+}
+
+/// The observability law: telemetry must never influence trial
+/// results. An instrumented run — phase timings, engine metrics,
+/// progress snapshots — must produce the *same stats and the same CSV
+/// bytes* as the uninstrumented engine, for every scenario shape.
+#[test]
+fn instrumented_runs_leave_results_and_csv_untouched() {
+    use certify_core::EngineTelemetry;
+    use certify_uncertified::obs::{CollectObserver, ManualClock};
+
+    for (scenario, trials) in scenarios() {
+        let campaign = Campaign::new(scenario, trials, 0xD5_2022);
+        let name = campaign.scenario().name.clone();
+
+        let mut plain_sink = CsvSink::in_memory();
+        let plain_stats = campaign.run_parallel_streamed(4, &mut plain_sink);
+        let plain_csv = plain_sink.into_csv();
+
+        let clock = ManualClock::new();
+        let mut observer = CollectObserver::default();
+        let mut telemetry = EngineTelemetry::new(&clock, &mut observer, 2);
+        let mut observed_sink = CsvSink::in_memory();
+        let observed_stats =
+            campaign.run_parallel_streamed_observed(4, &mut observed_sink, &mut telemetry);
+        let observed_csv = observed_sink.into_csv();
+
+        assert_eq!(observed_stats, plain_stats, "{name}: stats diverged");
+        assert_eq!(observed_csv, plain_csv, "{name}: CSV bytes diverged");
+
+        // And the run must actually have been observed.
+        let metrics = &telemetry.metrics;
+        assert_eq!(metrics.trials.get(), trials as u64, "{name}: trial count");
+        assert_eq!(
+            metrics.phases.total.count(),
+            trials as u64,
+            "{name}: phase samples"
+        );
+        assert_eq!(metrics.sink_rows.get(), trials as u64, "{name}: sink rows");
+        assert_eq!(
+            metrics.sink_bytes.get(),
+            plain_csv.len() as u64,
+            "{name}: sink bytes"
+        );
+        let last = observer
+            .snapshots
+            .last()
+            .unwrap_or_else(|| panic!("{name}: no progress snapshots"));
+        assert_eq!(last.done, trials as u64, "{name}: final snapshot done");
+        assert_eq!(last.total, trials as u64, "{name}: final snapshot total");
+        assert_eq!(last.source, None, "{name}: campaign-level snapshot");
+    }
+}
+
+/// Same law under the real clock: `MonotonicClock` feeds nonzero
+/// timings into the histograms without perturbing the results.
+#[test]
+fn instrumented_run_under_the_real_clock_matches_plain() {
+    use certify_core::EngineTelemetry;
+    use certify_uncertified::obs::{CollectObserver, MonotonicClock};
+
+    let campaign = Campaign::new(Scenario::e3_fig3(), 8, 0xD5_2022);
+    let plain_stats = campaign.run_parallel_streamed(4, &mut NullSink);
+
+    let clock = MonotonicClock::new();
+    let mut observer = CollectObserver::default();
+    let mut telemetry = EngineTelemetry::new(&clock, &mut observer, 0);
+    let observed_stats = campaign.run_parallel_streamed_observed(4, &mut NullSink, &mut telemetry);
+
+    assert_eq!(observed_stats, plain_stats);
+    assert_eq!(telemetry.metrics.trials.get(), 8);
+    assert!(
+        telemetry.metrics.phases.total.sum() > 0,
+        "real-clock phase timings must be nonzero"
+    );
+    assert_eq!(observer.snapshots.len(), 1, "progress_every=0: final only");
 }
 
 #[test]
