@@ -14,6 +14,7 @@
 //! [`Campaign::run`]/[`Campaign::run_parallel`] are thin collecting
 //! sinks over the same engine.
 
+use crate::certificate::ScenarioCertificate;
 use crate::classify::{classify, Outcome, RunReport};
 use crate::json::Json;
 use crate::memfault::{MemFaultModel, MemTarget};
@@ -344,6 +345,7 @@ pub struct Campaign {
     scenario: Scenario,
     trials: usize,
     base_seed: u64,
+    certificate: Option<Arc<ScenarioCertificate>>,
 }
 
 impl Campaign {
@@ -353,7 +355,23 @@ impl Campaign {
             scenario,
             trials,
             base_seed,
+            certificate: None,
         }
+    }
+
+    /// Attaches a pre-flight certificate (builder style). Debug builds
+    /// then assert every trial of [`Campaign::run_range_streamed`]
+    /// against it — predicted outcomes, injection budgets and tracked
+    /// regions — turning a certificate/engine disagreement into an
+    /// immediate panic instead of a silent mis-prediction.
+    pub fn with_certificate(mut self, certificate: Arc<ScenarioCertificate>) -> Campaign {
+        self.certificate = Some(certificate);
+        self
+    }
+
+    /// The attached pre-flight certificate, if any.
+    pub fn certificate(&self) -> Option<&Arc<ScenarioCertificate>> {
+        self.certificate.as_ref()
     }
 
     /// The scenario under test.
@@ -446,6 +464,8 @@ impl Campaign {
             let trial = runner.run_trial(self.base_seed + seq as u64);
             #[cfg(debug_assertions)]
             assert_skips_predicted(prediction.as_ref(), &trial);
+            #[cfg(debug_assertions)]
+            assert_certificate_conformance(self.certificate.as_deref(), &trial);
             stats.record(&trial);
             sink.accept(seq, trial);
         }
@@ -674,6 +694,27 @@ fn assert_skips_predicted(
             trial.seed
         );
     }
+}
+
+/// Debug-build certificate conformance: every trial of a campaign
+/// with an attached [`ScenarioCertificate`] must land inside its
+/// predicted outcome set, injection budgets and tracked regions.
+#[cfg(debug_assertions)]
+fn assert_certificate_conformance(certificate: Option<&ScenarioCertificate>, trial: &TrialResult) {
+    let Some(certificate) = certificate else {
+        return;
+    };
+    let violations = certificate.check_trial(trial);
+    assert!(
+        violations.is_empty(),
+        "trial {} violates the scenario certificate: {}",
+        trial.seed,
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
 }
 
 /// Shared state of the streamed parallel engine: an in-order index

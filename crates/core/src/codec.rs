@@ -16,6 +16,7 @@
 //! coordinator. Round-trip identity (`decode(encode(x)) == x`) is
 //! pinned by unit tests here and by proptests in the shard crate.
 
+use crate::certificate::{PhaseBound, ScenarioCertificate};
 use crate::classify::Outcome;
 use crate::fault::FaultModel;
 use crate::memfault::{MemFaultModel, MemRegionKind, MemTarget};
@@ -742,6 +743,64 @@ impl Wire for CampaignStats {
     }
 }
 
+// ---- scenario certificates -----------------------------------------------
+
+impl Wire for PhaseBound {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.start.encode(out);
+        self.end.encode(out);
+        self.max_handler_calls.encode(out);
+        self.max_injections.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<PhaseBound, DecodeError> {
+        let bound = PhaseBound {
+            start: u64::decode(r)?,
+            end: u64::decode(r)?,
+            max_handler_calls: u64::decode(r)?,
+            max_injections: u64::decode(r)?,
+        };
+        if bound.start >= bound.end {
+            return Err(DecodeError::Invalid {
+                what: "phase bound is empty",
+            });
+        }
+        Ok(bound)
+    }
+}
+
+impl Wire for ScenarioCertificate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.scenario_name.encode(out);
+        self.cell_reachable.encode(out);
+        self.script_steps.encode(out);
+        self.outcomes.encode(out);
+        self.reg_budget.encode(out);
+        self.mem_budget.encode(out);
+        self.tracked_regions.encode(out);
+        self.reg_phases.encode(out);
+        self.mem_phases.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<ScenarioCertificate, DecodeError> {
+        let certificate = ScenarioCertificate {
+            scenario_name: String::decode(r)?,
+            cell_reachable: bool::decode(r)?,
+            script_steps: Option::decode(r)?,
+            outcomes: BTreeSet::decode(r)?,
+            reg_budget: Option::decode(r)?,
+            mem_budget: Option::decode(r)?,
+            tracked_regions: BTreeSet::decode(r)?,
+            reg_phases: Vec::decode(r)?,
+            mem_phases: Vec::decode(r)?,
+        };
+        if certificate.outcomes.is_empty() {
+            return Err(DecodeError::Invalid {
+                what: "certificate predicts no outcomes",
+            });
+        }
+        Ok(certificate)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -871,6 +930,74 @@ mod tests {
         // A memory target with an empty region list.
         let bytes = encode_to_vec(&Vec::<MemRegionKind>::new());
         assert!(decode_exact::<MemTarget>(&bytes).is_err());
+    }
+
+    #[test]
+    fn scenario_certificates_round_trip() {
+        let certificate = ScenarioCertificate {
+            scenario_name: "e7-mixed".into(),
+            cell_reachable: true,
+            script_steps: None,
+            outcomes: [Outcome::Correct, Outcome::PanicPark, Outcome::CpuPark]
+                .into_iter()
+                .collect(),
+            reg_budget: Some(721),
+            mem_budget: Some(12),
+            tracked_regions: [MemRegionKind::CommRegion, MemRegionKind::Stage2Tables]
+                .into_iter()
+                .collect(),
+            reg_phases: vec![PhaseBound {
+                start: 3300,
+                end: 4500,
+                max_handler_calls: 9600,
+                max_injections: 961,
+            }],
+            mem_phases: Vec::new(),
+        };
+        round_trip(&certificate);
+
+        // Truncation at every prefix errors cleanly, as for scenarios.
+        let bytes = encode_to_vec(&certificate);
+        for len in 0..bytes.len() {
+            decode_exact::<ScenarioCertificate>(&bytes[..len]).expect_err("truncated must fail");
+        }
+    }
+
+    #[test]
+    fn malformed_certificates_are_rejected() {
+        // An empty phase bound.
+        let mut bytes = Vec::new();
+        5u64.encode(&mut bytes);
+        5u64.encode(&mut bytes);
+        1u64.encode(&mut bytes);
+        1u64.encode(&mut bytes);
+        assert_eq!(
+            decode_exact::<PhaseBound>(&bytes),
+            Err(DecodeError::Invalid {
+                what: "phase bound is empty"
+            })
+        );
+
+        // A certificate predicting no outcome at all.
+        let mut certificate = ScenarioCertificate {
+            scenario_name: "x".into(),
+            cell_reachable: false,
+            script_steps: Some(1),
+            outcomes: [Outcome::Correct].into_iter().collect(),
+            reg_budget: None,
+            mem_budget: None,
+            tracked_regions: BTreeSet::new(),
+            reg_phases: Vec::new(),
+            mem_phases: Vec::new(),
+        };
+        certificate.outcomes.clear();
+        let bytes = encode_to_vec(&certificate);
+        assert_eq!(
+            decode_exact::<ScenarioCertificate>(&bytes),
+            Err(DecodeError::Invalid {
+                what: "certificate predicts no outcomes"
+            })
+        );
     }
 
     #[test]

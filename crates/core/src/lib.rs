@@ -34,6 +34,10 @@
 //! * [`campaign`] — seeded, optionally parallel campaigns of
 //!   independent trials, streamed (sink + online stats, O(workers)
 //!   resident reports) or buffered;
+//! * [`certificate`] — [`certificate::ScenarioCertificate`], the
+//!   pre-flight abstract-interpretation certificate produced by
+//!   `certify-lint`, plus the [`certificate::ConformanceMonitor`]
+//!   sink wrapper enforcing it at runtime;
 //! * [`sink`] — the [`sink::TrialSink`] streaming consumer trait and
 //!   stock sinks;
 //! * [`stats`] — [`stats::CampaignStats`], the online constant-size
@@ -65,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod certificate;
 pub mod classify;
 pub mod codec;
 pub mod fault;
@@ -80,6 +85,7 @@ pub mod system;
 pub mod telemetry;
 
 pub use campaign::{Campaign, CampaignResult, Scenario, TrialResult, TrialRunner};
+pub use certificate::{ConformanceMonitor, ConformanceViolation, PhaseBound, ScenarioCertificate};
 pub use classify::{classify, Outcome, RunReport};
 pub use codec::{decode_exact, encode_to_vec, DecodeError, Reader, Wire};
 pub use fault::{AppliedFault, FaultModel};

@@ -28,13 +28,24 @@ pub const FORBIDDEN_TOKENS: &[(&str, &str)] = &[
     ("Instant::now", "monotonic-clock reads differ per run"),
     ("thread_rng", "OS-entropy RNG breaks seeded replay"),
     ("rand::random", "OS-entropy RNG breaks seeded replay"),
+    ("OsRng", "OS-entropy RNG breaks seeded replay"),
     ("std::env::", "ambient environment reads differ per host"),
+    (
+        "thread::sleep",
+        "real-time delays stall replay and differ per run",
+    ),
 ];
 
 /// Crate directories excluded from the scan: `bench` legitimately
 /// reads clocks and CLI args; `lint` is the auditor itself (its token
 /// table would trip the scan).
 const EXCLUDED_CRATES: &[&str] = &["bench", "lint"];
+
+/// Repository-root-relative directories the repo-wide audit scans in
+/// addition to the crate sources: the examples, the bench binaries
+/// (`bench/src` stays excluded, but its benches are real programs
+/// whose clock reads must be deliberate), and the facade crate.
+const EXTRA_SCAN_DIRS: &[&str] = &["examples", "src", "crates/bench/benches"];
 
 /// One parsed allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,12 +148,9 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Audits every non-excluded crate under `crates_root` (a `crates/`
-/// directory) with the given allowlist text.
-pub fn audit_tree_with_allowlist(crates_root: &Path, allowlist: &str) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    let mut allow = parse_allowlist(allowlist, &mut out);
-
+/// Scans every non-excluded crate's `src/` under `crates_root`,
+/// displaying paths relative to `crates_root`.
+fn scan_crates(crates_root: &Path, allow: &mut [AllowEntry], out: &mut Vec<Diagnostic>) {
     let crate_dirs = match fs::read_dir(crates_root) {
         Ok(iter) => {
             let mut dirs: Vec<PathBuf> = iter
@@ -162,7 +170,7 @@ pub fn audit_tree_with_allowlist(crates_root: &Path, allowlist: &str) -> Vec<Dia
                 crates_root.display().to_string(),
                 format!("cannot read the crates directory: {err}"),
             ));
-            return out;
+            return;
         }
     };
 
@@ -189,7 +197,7 @@ pub fn audit_tree_with_allowlist(crates_root: &Path, allowlist: &str) -> Vec<Dia
                 .collect::<Vec<_>>()
                 .join("/");
             match fs::read_to_string(&file) {
-                Ok(source) => scan_source(&display, &source, &mut allow, &mut out),
+                Ok(source) => scan_source(&display, &source, allow, out),
                 Err(err) => out.push(Diagnostic::new(
                     Code::AuditIo,
                     display,
@@ -198,8 +206,46 @@ pub fn audit_tree_with_allowlist(crates_root: &Path, allowlist: &str) -> Vec<Dia
             }
         }
     }
+}
 
-    for entry in &allow {
+/// Scans one repo-root-relative directory (if it exists), displaying
+/// paths relative to `repo_root` (e.g. `examples/quickstart.rs`).
+fn scan_dir(repo_root: &Path, rel: &str, allow: &mut [AllowEntry], out: &mut Vec<Diagnostic>) {
+    let dir = repo_root.join(rel);
+    if !dir.is_dir() {
+        return;
+    }
+    let mut files = Vec::new();
+    if let Err(err) = rust_files(&dir, &mut files) {
+        out.push(Diagnostic::new(
+            Code::AuditIo,
+            dir.display().to_string(),
+            format!("cannot walk the source tree: {err}"),
+        ));
+        return;
+    }
+    for file in files {
+        let display: String = file
+            .strip_prefix(repo_root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        match fs::read_to_string(&file) {
+            Ok(source) => scan_source(&display, &source, allow, out),
+            Err(err) => out.push(Diagnostic::new(
+                Code::AuditIo,
+                display,
+                format!("cannot read source file: {err}"),
+            )),
+        }
+    }
+}
+
+/// Flags every allowlist entry no scanned line consumed.
+fn report_unused(allow: &[AllowEntry], out: &mut Vec<Diagnostic>) {
+    for entry in allow {
         if !entry.used {
             out.push(Diagnostic::new(
                 Code::AuditUnusedAllow,
@@ -211,13 +257,41 @@ pub fn audit_tree_with_allowlist(crates_root: &Path, allowlist: &str) -> Vec<Dia
             ));
         }
     }
+}
+
+/// Audits every non-excluded crate under `crates_root` (a `crates/`
+/// directory) with the given allowlist text. Crates-only: the
+/// repo-wide entry point is [`audit_repo`].
+pub fn audit_tree_with_allowlist(crates_root: &Path, allowlist: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut allow = parse_allowlist(allowlist, &mut out);
+    scan_crates(crates_root, &mut allow, &mut out);
+    report_unused(&allow, &mut out);
     out
 }
 
-/// Audits `crates_root` with the committed allowlist — the CI entry
-/// point.
+/// Audits `crates_root` with the committed allowlist.
 pub fn audit_tree(crates_root: &Path) -> Vec<Diagnostic> {
     audit_tree_with_allowlist(crates_root, DEFAULT_ALLOWLIST)
+}
+
+/// Audits the whole repository — crate sources plus the examples,
+/// bench binaries and facade crate — with the given allowlist text.
+pub fn audit_repo_with_allowlist(repo_root: &Path, allowlist: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut allow = parse_allowlist(allowlist, &mut out);
+    scan_crates(&repo_root.join("crates"), &mut allow, &mut out);
+    for rel in EXTRA_SCAN_DIRS {
+        scan_dir(repo_root, rel, &mut allow, &mut out);
+    }
+    report_unused(&allow, &mut out);
+    out
+}
+
+/// Audits the whole repository with the committed allowlist — the CI
+/// entry point.
+pub fn audit_repo(repo_root: &Path) -> Vec<Diagnostic> {
+    audit_repo_with_allowlist(repo_root, DEFAULT_ALLOWLIST)
 }
 
 #[cfg(test)]
@@ -231,8 +305,11 @@ mod tests {
 
     #[test]
     fn the_repo_tree_audits_clean() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
-        let diags = audit_tree(root);
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .unwrap();
+        let diags = audit_repo(root);
         assert!(
             diags.is_empty(),
             "determinism audit failed:\n{}",
@@ -260,6 +337,19 @@ mod tests {
         assert!(out[0].message.contains("HashMap"));
         assert_eq!(out[1].span, "core/src/x.rs:2");
         assert!(has_errors(&out));
+    }
+
+    #[test]
+    fn sleep_and_os_entropy_tokens_fire() {
+        let mut out = Vec::new();
+        let source = "std::thread::sleep(d);\nlet mut rng = OsRng;\n";
+        scan_source("core/src/x.rs", source, &mut [], &mut out);
+        assert_eq!(
+            codes(&out),
+            vec![Code::AuditForbiddenToken, Code::AuditForbiddenToken]
+        );
+        assert!(out.iter().any(|d| d.message.contains("thread::sleep")));
+        assert!(out.iter().any(|d| d.message.contains("OsRng")));
     }
 
     #[test]
@@ -298,7 +388,9 @@ mod tests {
     fn unused_allow_entries_and_unreadable_roots_are_reported() {
         let missing = Path::new("/nonexistent/certify-lint-audit");
         let diags = audit_tree_with_allowlist(missing, "ghost/src/z.rs HashMap\n");
-        assert_eq!(codes(&diags), vec![Code::AuditIo]);
+        // An unreadable root is an I/O error, and the entry it never
+        // scanned against still reports as unused.
+        assert_eq!(codes(&diags), vec![Code::AuditIo, Code::AuditUnusedAllow]);
 
         let real = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
         let diags = audit_tree_with_allowlist(real, "ghost/src/z.rs HashMap\n");

@@ -2,15 +2,20 @@
 //! line (and from CI).
 //!
 //! ```text
-//! certify-lint [all|specs|schema|audit] [--json] [--root DIR]
+//! certify-lint [all|specs|certify|schema|audit] [--json] [--root DIR]
 //! certify-lint --write-schema
 //! ```
 //!
 //! * `specs` lints every built-in scenario;
+//! * `certify` abstractly interprets every built-in scenario and
+//!   derives its pre-flight certificate (in text mode the certificate
+//!   summaries are printed too);
 //! * `schema` audits the wire-codec fingerprints against the golden
 //!   table;
-//! * `audit` runs the determinism source scan over `<root>/crates`;
-//! * `all` (the default) runs all three;
+//! * `audit` runs the determinism source scan over the repository:
+//!   `<root>/crates`, plus the examples, bench binaries and the
+//!   facade crate;
+//! * `all` (the default) runs all four;
 //! * `--json` emits one JSON report object instead of text lines;
 //! * `--root DIR` sets the repository root for the audit pass
 //!   (default: the ambient working directory);
@@ -20,10 +25,9 @@
 //! Exit codes: `0` clean or warnings only, `1` at least one
 //! error-severity diagnostic, `2` usage or I/O failure.
 
-use certify_core::json::Json;
 use certify_lint::{
-    builtin_scenarios, check_schema, current_schema, diagnostics_to_json, has_errors,
-    lint_scenario, schema::render_schema, Diagnostic,
+    builtin_scenarios, certify_scenario, check_schema, current_schema, has_errors, lint_scenario,
+    report_to_json, schema::render_schema, PassReport,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,13 +43,15 @@ struct Options {
 enum Pass {
     All,
     Specs,
+    Certify,
     Schema,
     Audit,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: certify-lint [all|specs|schema|audit] [--json] [--root DIR] [--write-schema]"
+        "usage: certify-lint [all|specs|certify|schema|audit] [--json] [--root DIR] \
+         [--write-schema]"
     );
     ExitCode::from(2)
 }
@@ -62,6 +68,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         match arg.as_str() {
             "all" => options.pass = Pass::All,
             "specs" => options.pass = Pass::Specs,
+            "certify" => options.pass = Pass::Certify,
             "schema" => options.pass = Pass::Schema,
             "audit" => options.pass = Pass::Audit,
             "--json" => options.json = true,
@@ -74,12 +81,6 @@ fn parse_args() -> Result<Options, ExitCode> {
         }
     }
     Ok(options)
-}
-
-/// One pass's findings, tagged for the report.
-struct PassReport {
-    pass: &'static str,
-    diagnostics: Vec<Diagnostic>,
 }
 
 fn run_specs() -> PassReport {
@@ -96,6 +97,24 @@ fn run_specs() -> PassReport {
     }
 }
 
+fn run_certify(print_certificates: bool) -> PassReport {
+    let mut diagnostics = Vec::new();
+    for scenario in builtin_scenarios() {
+        let (certificate, found) = certify_scenario(&scenario);
+        if print_certificates {
+            println!("certify: {certificate}");
+        }
+        for mut diagnostic in found {
+            diagnostic.span = format!("{}: {}", scenario.name, diagnostic.span);
+            diagnostics.push(diagnostic);
+        }
+    }
+    PassReport {
+        pass: "certify",
+        diagnostics,
+    }
+}
+
 fn run_schema() -> PassReport {
     PassReport {
         pass: "schema",
@@ -106,7 +125,7 @@ fn run_schema() -> PassReport {
 fn run_audit(root: &std::path::Path) -> PassReport {
     PassReport {
         pass: "audit",
-        diagnostics: certify_lint::audit_tree(&root.join("crates")),
+        diagnostics: certify_lint::audit_repo(root),
     }
 }
 
@@ -135,6 +154,9 @@ fn main() -> ExitCode {
     if matches!(options.pass, Pass::All | Pass::Specs) {
         reports.push(run_specs());
     }
+    if matches!(options.pass, Pass::All | Pass::Certify) {
+        reports.push(run_certify(options.pass == Pass::Certify && !options.json));
+    }
     if matches!(options.pass, Pass::All | Pass::Schema) {
         reports.push(run_schema());
     }
@@ -146,26 +168,7 @@ fn main() -> ExitCode {
     let failed = reports.iter().any(|r| has_errors(&r.diagnostics));
 
     if options.json {
-        let report = Json::obj([
-            (
-                "passes",
-                Json::Arr(
-                    reports
-                        .iter()
-                        .map(|r| {
-                            Json::obj([
-                                ("pass", Json::str(r.pass)),
-                                ("diagnostics", diagnostics_to_json(&r.diagnostics)),
-                                ("errors", Json::Bool(has_errors(&r.diagnostics))),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            ("total", Json::U64(total as u64)),
-            ("failed", Json::Bool(failed)),
-        ]);
-        println!("{}", report.render());
+        println!("{}", report_to_json(&reports).render());
     } else {
         for report in &reports {
             for diagnostic in &report.diagnostics {

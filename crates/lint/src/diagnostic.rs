@@ -142,6 +142,35 @@ codes! {
         "An allowlist line is unparseable."),
     AuditIo = ("audit-io", Error,
         "The source tree could not be read."),
+    // -- certificate interpreter ------------------------------------
+    CertCellOpWithoutEnable = ("cert-cell-op-without-enable", Error,
+        "The script reaches a cell create before any enable: the hypervisor cannot \
+         service the operation."),
+    CertCellOpWithoutCreate = ("cert-cell-op-without-create", Error,
+        "The script reaches a cell load/start/shutdown/destroy while no created cell \
+         exists on any path to it."),
+    CertDoubleCreate = ("cert-double-create", Warning,
+        "The script reaches a second cell create while the first cell still exists."),
+    CertStartWithoutLoad = ("cert-start-without-load", Warning,
+        "The script starts the cell without loading an image since its creation: the \
+         guest enters at whatever the cell RAM happens to contain."),
+    CertWaitWithoutOffline = ("cert-wait-without-offline", Warning,
+        "The script waits for a CPU to park without having requested it offline: the \
+         wait polls forever against a CPU that never parks."),
+    CertUnreachableOp = ("cert-unreachable-op", Warning,
+        "A script operation can never execute: the symbolic walk never reaches it."),
+    CertMonitorWithoutHeartbeat = ("cert-monitor-without-heartbeat", Warning,
+        "The script runs the heartbeat safety monitor but the RTOS workload publishes \
+         no heartbeat: every monitored window is a guaranteed alarm."),
+    CertRegionUnmapped = ("cert-region-unmapped", Warning,
+        "A memory target region is cell-backed in the derived topology but the script \
+         never creates the cell: corruption there is unobservable by any guest."),
+    CertScriptEndsBeforeWindow = ("cert-script-ends-before-window", Warning,
+        "The script goes quiet before the earliest injection window opens: only idle \
+         background traffic can drive the cadence inside it."),
+    CertZeroBudget = ("cert-zero-budget", Error,
+        "The certified injection budget is zero: the abstract interpreter proves no \
+         injection can ever fire."),
 }
 
 /// One finding of a lint pass.

@@ -20,7 +20,13 @@
 //! * [`audit`] — the **determinism audit**: a text scan over the
 //!   trial-hot-path crates refusing known nondeterminism sources
 //!   (`HashMap`, wall clocks, OS entropy, ambient env reads) modulo a
-//!   committed allowlist.
+//!   committed allowlist;
+//! * [`interp`] + [`certificate`] — the **scenario abstract
+//!   interpreter**: symbolically executes the management script and
+//!   derives a pre-flight
+//!   [`ScenarioCertificate`](certify_core::ScenarioCertificate) — the
+//!   reachable-outcome over-approximation, injection budgets and
+//!   fault-target footprint the runtime conformance monitor enforces.
 //!
 //! Every pass emits [`Diagnostic`]s; callers gate on [`has_errors`].
 //! The `certify-lint` binary renders them as text or (`--json`)
@@ -30,17 +36,59 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod certificate;
 pub mod diagnostic;
+pub mod interp;
 pub mod schema;
 pub mod spec;
 
-pub use audit::{audit_tree, audit_tree_with_allowlist, FORBIDDEN_TOKENS};
+pub use audit::{
+    audit_repo, audit_repo_with_allowlist, audit_tree, audit_tree_with_allowlist, FORBIDDEN_TOKENS,
+};
+pub use certificate::certify_scenario;
 pub use diagnostic::{diagnostics_to_json, has_errors, Code, Diagnostic, Severity};
+pub use interp::{interpret_script, AbstractScript};
 pub use schema::{check_schema, check_schema_against, current_schema, fingerprint, SchemaEntry};
 pub use spec::{lint_mem_regions, lint_partition, lint_scenario, MAX_HANDLER_CALLS_PER_STEP};
 
 use certify_core::campaign::Scenario;
+use certify_core::json::Json;
 use certify_core::memfault::{MemFaultModel, MemRegionKind, MemTarget};
+
+/// One pass's findings, tagged for the `certify-lint` report.
+pub struct PassReport {
+    /// The pass name (`specs`, `certify`, `schema`, `audit`).
+    pub pass: &'static str,
+    /// Everything the pass found.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// The exact JSON object `certify-lint --json` prints for a set of
+/// pass reports — kept in the library so its byte stability can be
+/// pinned by a golden-file test.
+pub fn report_to_json(reports: &[PassReport]) -> Json {
+    let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    let failed = reports.iter().any(|r| has_errors(&r.diagnostics));
+    Json::obj([
+        (
+            "passes",
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("pass", Json::str(r.pass)),
+                            ("diagnostics", diagnostics_to_json(&r.diagnostics)),
+                            ("errors", Json::Bool(has_errors(&r.diagnostics))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total", Json::U64(total as u64)),
+        ("failed", Json::Bool(failed)),
+    ])
+}
 
 /// Every built-in scenario constructor the framework ships — the
 /// experiment presets E1–E7 plus the golden run and the full

@@ -23,9 +23,13 @@ use certify_core::fault::FaultModel;
 use certify_core::memfault::{MemFaultModel, MemRegionKind, MemTarget};
 use certify_core::spec::{InjectionSpec, InjectionWindow, MemorySpec};
 use certify_core::stats::{CampaignStats, CountSummary};
-use certify_core::Wire;
+use certify_core::{
+    engine_metrics_to_json, progress_to_json, shard_metrics_to_json, PhaseBound,
+    ScenarioCertificate, Wire,
+};
 use certify_guest_linux::{MgmtOp, MgmtScript};
 use certify_hypervisor::HandlerKind;
+use certify_obs::{EngineMetrics, PhaseSample, ProgressSnapshot, ShardMetrics};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One pinned wire-schema witness: the canonical encoding of a fixed
@@ -136,6 +140,86 @@ fn full_stats() -> CampaignStats {
     }
 }
 
+/// A pre-flight certificate with every field populated: looping and
+/// non-looping scripts are both covered by the two phase vectors, and
+/// every outcome and region tag feeds the sets.
+fn full_certificate() -> ScenarioCertificate {
+    ScenarioCertificate {
+        scenario_name: "schema-witness".into(),
+        cell_reachable: true,
+        script_steps: Some(1017),
+        outcomes: certify_core::Outcome::ALL.iter().copied().collect(),
+        reg_budget: Some(360),
+        mem_budget: Some(12),
+        tracked_regions: MemRegionKind::ALL.iter().copied().collect(),
+        reg_phases: vec![PhaseBound {
+            start: 0,
+            end: 4500,
+            max_handler_calls: 36_000,
+            max_injections: 360,
+        }],
+        mem_phases: vec![PhaseBound {
+            start: 100,
+            end: 900,
+            max_handler_calls: 6_400,
+            max_injections: 12,
+        }],
+    }
+}
+
+/// Engine metrics with every counter, the residency gauge and all
+/// phase histograms non-default.
+fn full_engine_metrics() -> EngineMetrics {
+    let mut metrics = EngineMetrics::default();
+    metrics.trials.add(28);
+    metrics.reorder_residency.set(5);
+    metrics.reorder_residency.set(2); // high-water stays at 5
+    metrics.sink_rows.add(28);
+    metrics.sink_bytes.add(1234);
+    metrics.phases.record(&PhaseSample {
+        boot_ns: 1_000,
+        steady_ns: 2_000,
+        injection_ns: 300,
+        classify_ns: 40,
+    });
+    metrics.phases.record(&PhaseSample {
+        boot_ns: 5_000,
+        steady_ns: 1_000,
+        injection_ns: 0,
+        classify_ns: 90,
+    });
+    metrics
+}
+
+/// Shard transport metrics with every counter non-default.
+fn full_shard_metrics() -> ShardMetrics {
+    let mut metrics = ShardMetrics::default();
+    metrics.rows.add(240);
+    metrics.frames.add(12);
+    metrics.frame_bytes.add(4096);
+    metrics.crc_rejects.add(1);
+    metrics.retries.add(2);
+    metrics.wasted_rerun_trials.add(40);
+    metrics.elapsed_ns.set(2_000_000_000);
+    metrics
+}
+
+/// A mid-run shard snapshot with every field populated.
+fn full_progress_snapshot() -> ProgressSnapshot {
+    ProgressSnapshot {
+        source: Some(3),
+        done: 120,
+        total: 240,
+        elapsed_ns: 1_500_000_000,
+        rows_per_sec: 80.0,
+        eta_ns: Some(1_500_000_000),
+        outcomes: vec![
+            (String::from("correct"), 100),
+            (String::from("panic park"), 20),
+        ],
+    }
+}
+
 /// The current schema: every wire type's witness, encoded and
 /// fingerprinted, in stable order.
 pub fn current_schema() -> Vec<SchemaEntry> {
@@ -243,6 +327,34 @@ pub fn current_schema() -> Vec<SchemaEntry> {
         ),
         entry("campaign-stats", &full_stats()),
         entry_bytes("csv-header", CSV_HEADER.as_bytes()),
+        entry("phase-bound", &full_certificate().reg_phases[0]),
+        entry("scenario-certificate", &full_certificate()),
+        // JSON surfaces: the rendered byte streams clients parse. A
+        // renamed key, reordered field or reformatted number is as
+        // much a wire break as a codec change, so the rendered text of
+        // a fully-populated value is pinned like any encoding.
+        entry_bytes(
+            "json-campaign-stats",
+            full_stats().to_json().render().as_bytes(),
+        ),
+        entry_bytes(
+            "json-progress-snapshot",
+            progress_to_json(&full_progress_snapshot())
+                .render()
+                .as_bytes(),
+        ),
+        entry_bytes(
+            "json-engine-metrics",
+            engine_metrics_to_json(&full_engine_metrics())
+                .render()
+                .as_bytes(),
+        ),
+        entry_bytes(
+            "json-shard-metrics",
+            shard_metrics_to_json(&full_shard_metrics())
+                .render()
+                .as_bytes(),
+        ),
     ]
 }
 

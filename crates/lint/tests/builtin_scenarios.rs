@@ -12,7 +12,9 @@
 use certify_core::campaign::Scenario;
 use certify_core::memfault::{MemFaultModel, MemRegionKind, MemTarget};
 use certify_core::spec::InjectionWindow;
-use certify_lint::{builtin_scenarios, lint_mem_regions, lint_partition, lint_scenario, Code};
+use certify_lint::{
+    builtin_scenarios, certify_scenario, lint_mem_regions, lint_partition, lint_scenario, Code,
+};
 use proptest::prelude::*;
 
 #[test]
@@ -145,6 +147,94 @@ fn every_spec_diagnostic_code_has_a_triggering_mutation() {
         let mut scenario = Scenario::e3_fig3();
         (mutation.mutate)(&mut scenario);
         let codes: Vec<Code> = lint_scenario(&scenario).iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&mutation.expect),
+            "mutation `{}` must trigger {:?}, got {codes:?}",
+            mutation.name,
+            mutation.expect
+        );
+    }
+}
+
+/// Every certificate-interpreter code fires on a known mutation of a
+/// clean scenario, mirroring the spec-analyzer table above. The codes
+/// come out of `certify_scenario` (the abstract interpreter), not
+/// `lint_scenario`.
+#[test]
+fn every_certificate_code_has_a_triggering_mutation() {
+    use certify_guest_linux::{MgmtOp, MgmtScript};
+    let mutations: &[Mutation] = &[
+        Mutation {
+            name: "cell op before enable",
+            mutate: |s| s.script.ops = vec![MgmtOp::CreateCell],
+            expect: Code::CertCellOpWithoutEnable,
+        },
+        Mutation {
+            name: "cell op without create",
+            mutate: |s| s.script.ops = vec![MgmtOp::Enable, MgmtOp::LoadCell],
+            expect: Code::CertCellOpWithoutCreate,
+        },
+        Mutation {
+            name: "double create",
+            mutate: |s| s.script.ops = vec![MgmtOp::Enable, MgmtOp::CreateCell, MgmtOp::CreateCell],
+            expect: Code::CertDoubleCreate,
+        },
+        Mutation {
+            name: "start without load",
+            mutate: |s| s.script.ops = vec![MgmtOp::Enable, MgmtOp::CreateCell, MgmtOp::StartCell],
+            expect: Code::CertStartWithoutLoad,
+        },
+        Mutation {
+            name: "wait without offline request",
+            mutate: |s| s.script.ops = vec![MgmtOp::WaitCpuParked(1)],
+            expect: Code::CertWaitWithoutOffline,
+        },
+        Mutation {
+            name: "op shadowed by halt",
+            mutate: |s| s.script.ops = vec![MgmtOp::Halt, MgmtOp::Delay(1)],
+            expect: Code::CertUnreachableOp,
+        },
+        Mutation {
+            name: "monitor without heartbeat",
+            mutate: |s| {
+                s.script = MgmtScript::bring_up_with_monitor(100, 10);
+                s.rtos_heartbeat = false;
+            },
+            expect: Code::CertMonitorWithoutHeartbeat,
+        },
+        Mutation {
+            name: "cell-backed region never mapped",
+            mutate: |s| {
+                s.script = MgmtScript::enable_attempt(3);
+                s.mem_spec = Some(certify_core::spec::MemorySpec::e6_memory(
+                    MemFaultModel::SingleBitFlip,
+                    MemTarget::only(MemRegionKind::NonRootRam),
+                ));
+            },
+            expect: Code::CertRegionUnmapped,
+        },
+        Mutation {
+            name: "window too narrow for one fire",
+            mutate: |s| s.spec.as_mut().unwrap().windows = vec![InjectionWindow::new(0, 2)],
+            expect: Code::CertZeroBudget,
+        },
+        Mutation {
+            name: "script halts before the window opens",
+            mutate: |s| {
+                s.script = MgmtScript::bring_up_and_run(100);
+                s.spec.as_mut().unwrap().windows = vec![InjectionWindow::new(3000, 4000)];
+            },
+            expect: Code::CertScriptEndsBeforeWindow,
+        },
+    ];
+    for mutation in mutations {
+        let mut scenario = Scenario::e3_fig3();
+        (mutation.mutate)(&mut scenario);
+        let codes: Vec<Code> = certify_scenario(&scenario)
+            .1
+            .iter()
+            .map(|d| d.code)
+            .collect();
         assert!(
             codes.contains(&mutation.expect),
             "mutation `{}` must trigger {:?}, got {codes:?}",

@@ -37,7 +37,7 @@
 use crate::protocol::{read_frame, write_frame, Frame, Handshake, ProtocolError};
 use certify_core::telemetry::outcome_rows;
 use certify_core::{Campaign, CampaignStats};
-use certify_lint::{has_errors, lint_partition, lint_scenario, Diagnostic};
+use certify_lint::{certify_scenario, has_errors, lint_partition, lint_scenario, Diagnostic};
 use certify_obs::{
     Clock, CountingReader, ProgressObserver, ProgressSnapshot, ProgressTracker, ShardMetrics,
 };
@@ -343,6 +343,17 @@ fn run_sharded_engine(
     if has_errors(&scenario_diags) {
         return Err(ShardError::BadScenario(scenario_diags));
     }
+    // Derive the pre-flight certificate. Error-severity certificate
+    // findings (a provably-zero budget, cell ops the hypervisor must
+    // reject) refuse the run before any worker spawns; the
+    // fingerprint rides every handshake so each worker can verify it
+    // derives the same abstract interpretation from the shipped
+    // scenario.
+    let (certificate, certificate_diags) = certify_scenario(campaign.scenario());
+    if has_errors(&certificate_diags) {
+        return Err(ShardError::BadScenario(certificate_diags));
+    }
+    let certificate_fingerprint = certificate.fingerprint();
     let worker = match &opts.worker {
         Some(path) => path.clone(),
         None => resolve_worker().map_err(ShardError::NoWorker)?,
@@ -393,7 +404,17 @@ fn run_sharded_engine(
         for (shard, &(start, len)) in ranges.iter().enumerate() {
             let (signals, worker, campaign, opts) = (&signals, &worker, campaign, opts);
             scope.spawn(move || {
-                run_shard(signals, worker, campaign, opts, shard, start, len, clock);
+                run_shard(
+                    signals,
+                    worker,
+                    campaign,
+                    opts,
+                    shard,
+                    start,
+                    len,
+                    certificate_fingerprint,
+                    clock,
+                );
             });
         }
         // The caller's thread is the consumer: drain the reorder
@@ -520,6 +541,7 @@ fn run_shard(
     shard: usize,
     start: usize,
     len: usize,
+    certificate_fingerprint: u64,
     clock: Option<&(dyn Clock + Sync)>,
 ) {
     let started_ns = clock.map(|clock| clock.now_ns());
@@ -532,7 +554,16 @@ fn run_shard(
             .filter(|s| s.shard == shard && attempt == 1)
             .map(|s| s.after_rows);
         match run_attempt(
-            signals, worker, campaign, opts, shard, start, len, sabotage, clock,
+            signals,
+            worker,
+            campaign,
+            opts,
+            shard,
+            start,
+            len,
+            certificate_fingerprint,
+            sabotage,
+            clock,
         ) {
             Ok(()) => {
                 if let (Some(clock), Some(started_ns)) = (clock, started_ns) {
@@ -581,6 +612,7 @@ fn run_attempt(
     shard: usize,
     start: usize,
     len: usize,
+    certificate_fingerprint: u64,
     sabotage: Option<u64>,
     clock: Option<&(dyn Clock + Sync)>,
 ) -> Result<(), String> {
@@ -599,6 +631,7 @@ fn run_attempt(
         start_trial: start as u64,
         len: len as u64,
         stats_every: opts.stats_every,
+        certificate_fingerprint,
     });
     {
         let mut stdin = child.stdin.take().expect("stdin was piped");

@@ -36,8 +36,9 @@ use std::io::{self, Read, Write};
 pub const MAGIC: u32 = 0x4353_4844;
 
 /// Protocol version carried in every handshake. Bump on any change to
-/// the frame layout or payload encodings.
-pub const VERSION: u16 = 1;
+/// the frame layout or payload encodings. Version 2 added the
+/// scenario-certificate fingerprint to the handshake.
+pub const VERSION: u16 = 2;
 
 /// Upper bound on `len`: no legal frame is anywhere near this large,
 /// so a longer prefix means a corrupt or hostile stream — reject it
@@ -63,6 +64,13 @@ pub struct Handshake {
     /// Emit a [`Frame::Stats`] snapshot every this many rows
     /// (0 = never).
     pub stats_every: u64,
+    /// Fingerprint of the coordinator's
+    /// [`certify_core::ScenarioCertificate`] for the scenario. The
+    /// worker re-derives the certificate from the shipped scenario and
+    /// refuses the handshake on a mismatch: coordinator and worker
+    /// must agree on what the campaign is allowed to observe before a
+    /// single trial runs.
+    pub certificate_fingerprint: u64,
 }
 
 impl Wire for Handshake {
@@ -74,6 +82,7 @@ impl Wire for Handshake {
         self.start_trial.encode(out);
         self.len.encode(out);
         self.stats_every.encode(out);
+        self.certificate_fingerprint.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Handshake, DecodeError> {
         let magic = u32::decode(r)?;
@@ -94,6 +103,7 @@ impl Wire for Handshake {
             start_trial: u64::decode(r)?,
             len: u64::decode(r)?,
             stats_every: u64::decode(r)?,
+            certificate_fingerprint: u64::decode(r)?,
         })
     }
 }
@@ -329,6 +339,7 @@ mod tests {
             start_trial: 128,
             len: 64,
             stats_every: 16,
+            certificate_fingerprint: 0xFEED_F00D,
         }
     }
 

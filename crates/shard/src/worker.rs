@@ -19,9 +19,10 @@
 
 use crate::protocol::{read_frame, write_frame, Frame, Handshake};
 use certify_analysis::export::trial_to_csv_row;
-use certify_core::{Campaign, CampaignStats, TrialResult, TrialSink};
+use certify_core::{Campaign, CampaignStats, ConformanceMonitor, TrialResult, TrialSink};
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 /// Exit code for a malformed, missing or version-skewed handshake.
 pub const EXIT_BAD_HANDSHAKE: i32 = 2;
@@ -184,6 +185,7 @@ pub fn run_handshake<W: Write>(handshake: &Handshake, output: W) -> Result<(), W
         start_trial,
         len,
         stats_every,
+        certificate_fingerprint,
     } = handshake;
     let (start, len) = match (usize::try_from(*start_trial), usize::try_from(*len)) {
         (Ok(start), Ok(len)) if start.checked_add(len).is_some() => (start, len),
@@ -205,16 +207,54 @@ pub fn run_handshake<W: Write>(handshake: &Handshake, output: W) -> Result<(), W
             rendered.join("; ")
         )));
     }
+    // Re-derive the pre-flight certificate from the shipped scenario
+    // and check it against the coordinator's fingerprint: a mismatch
+    // means the two processes disagree on the abstract interpretation
+    // (version skew, or a tampered handshake) and nothing the worker
+    // would stream could be trusted against the coordinator's
+    // certificate.
+    let (certificate, cert_diagnostics) = certify_lint::certify_scenario(scenario);
+    if certify_lint::has_errors(&cert_diagnostics) {
+        let rendered: Vec<String> = cert_diagnostics.iter().map(|d| d.to_string()).collect();
+        return Err(WorkerError::Handshake(format!(
+            "scenario failed certification: {}",
+            rendered.join("; ")
+        )));
+    }
+    let fingerprint = certificate.fingerprint();
+    if fingerprint != *certificate_fingerprint {
+        return Err(WorkerError::Handshake(format!(
+            "certificate fingerprint mismatch: coordinator sent {:#018x}, worker derived \
+             {fingerprint:#018x}",
+            certificate_fingerprint
+        )));
+    }
 
     let campaign = Campaign::new(scenario.clone(), start + len, *base_seed);
-    let mut sink = RemoteSink::new(output, scenario.name.clone(), *stats_every);
-    let stats = campaign.run_range_streamed(start, len, &mut sink);
+    let sink = RemoteSink::new(output, scenario.name.clone(), *stats_every);
+    // Every streamed trial is checked against the certificate; a
+    // violation is a broken soundness contract, and the shard must
+    // die loudly rather than report certified-looking rows.
+    let mut monitor = ConformanceMonitor::new(Arc::new(certificate), sink);
+    let stats = campaign.run_range_streamed(start, len, &mut monitor);
+    let violations_total = monitor.violations_total();
+    let rendered: Vec<String> = monitor.violations().iter().map(|v| v.to_string()).collect();
+    let sink = monitor.into_inner();
     // A latched sink stops folding, so the comparison only holds on
     // the clean path.
     debug_assert!(
         sink.latched_error().is_some() || stats == *sink.stats(),
         "engine and sink folded different stats"
     );
+    if violations_total > 0 {
+        // No `Done` frame: the coordinator must see a dead shard, not
+        // a certified-clean one.
+        return Err(WorkerError::Stream(format!(
+            "{violations_total} conformance violation(s) against certificate \
+             {fingerprint:#018x}: {}",
+            rendered.join("; ")
+        )));
+    }
     sink.finish()
         .map_err(|e| WorkerError::Stream(e.to_string()))
 }
@@ -228,12 +268,15 @@ mod tests {
 
     fn handshake(trials: u64, start: u64, len: u64) -> Handshake {
         let _ = trials;
+        let scenario = Scenario::e1_root_high();
+        let (certificate, _) = certify_lint::certify_scenario(&scenario);
         Handshake {
-            scenario: Scenario::e1_root_high(),
+            scenario,
             base_seed: 7,
             start_trial: start,
             len,
             stats_every: 2,
+            certificate_fingerprint: certificate.fingerprint(),
         }
     }
 
@@ -382,6 +425,39 @@ mod tests {
             "error must carry the diagnostic code: {err}"
         );
         assert!(output.is_empty(), "no frames before the refusal");
+    }
+
+    #[test]
+    fn certificate_fingerprint_mismatch_is_a_handshake_error() {
+        let mut handshake = handshake(2, 0, 2);
+        handshake.certificate_fingerprint ^= 1;
+        let mut output = Vec::new();
+        let err = run_handshake(&handshake, &mut output).unwrap_err();
+        assert!(matches!(err, WorkerError::Handshake(_)), "{err}");
+        assert_eq!(err.exit_code(), EXIT_BAD_HANDSHAKE);
+        assert!(
+            err.to_string().contains("fingerprint mismatch"),
+            "error must name the mismatch: {err}"
+        );
+        assert!(output.is_empty(), "no frames before the refusal");
+    }
+
+    #[test]
+    fn zero_budget_scenario_fails_certification_at_the_handshake() {
+        use certify_core::spec::InjectionWindow;
+        let mut handshake = handshake(2, 0, 2);
+        // A 2-step window cannot accumulate the 50 calls one fire
+        // needs: lint-clean, but certifiably pointless.
+        handshake.scenario.spec.as_mut().unwrap().windows = vec![InjectionWindow::new(0, 2)];
+        let (certificate, _) = certify_lint::certify_scenario(&handshake.scenario);
+        handshake.certificate_fingerprint = certificate.fingerprint();
+        let err = run_handshake(&handshake, Vec::new()).unwrap_err();
+        assert!(matches!(err, WorkerError::Handshake(_)), "{err}");
+        assert_eq!(err.exit_code(), EXIT_BAD_HANDSHAKE);
+        assert!(
+            err.to_string().contains("cert-zero-budget"),
+            "error must carry the diagnostic code: {err}"
+        );
     }
 
     #[test]

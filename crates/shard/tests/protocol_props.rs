@@ -118,6 +118,7 @@ proptest! {
             _ => Scenario::e7_mixed(),
         };
         let handshake = Handshake {
+            certificate_fingerprint: certify_lint::certify_scenario(&scenario).0.fingerprint(),
             scenario,
             base_seed,
             start_trial: start,

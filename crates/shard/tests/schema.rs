@@ -31,6 +31,7 @@ fn pinned_frames() -> Vec<(&'static str, Vec<u8>)> {
                 start_trial: 2,
                 len: 3,
                 stats_every: 4,
+                certificate_fingerprint: 6,
             })),
         ),
         (
@@ -55,7 +56,7 @@ fn pinned_frames() -> Vec<(&'static str, Vec<u8>)> {
 /// failure message prints current values) alongside a protocol
 /// `VERSION` bump.
 const GOLDEN: &[(&str, usize, u64)] = &[
-    ("handshake-e3", 206, 0xd1b6e169a698c207),
+    ("handshake-e3", 214, 0xa6258fcc83ab0475),
     ("trial-row", 42, 0x654dd71078400e11),
     ("stats", 148, 0xd0e28bfdd1519951),
     ("done", 148, 0xbf44227906e2af08),

@@ -194,6 +194,60 @@ fn statically_broken_scenario_is_refused_before_spawning() {
     }
 }
 
+/// Runs every built-in scenario sharded across real worker processes.
+/// Workers enforce the scenario's certificate on every trial through a
+/// `ConformanceMonitor`: a single violation suppresses the Done frame
+/// and kills the worker, so `worker_failures == 0` across the sweep is
+/// an end-to-end soundness proof of the abstract interpreter.
+fn assert_sharded_conformance(trials: usize, base_seed: u64) {
+    for scenario in certify_lint::builtin_scenarios() {
+        let name = scenario.name.clone();
+        let campaign = Campaign::new(scenario, trials, base_seed);
+        let run = run_sharded(&campaign, &options(2), None)
+            .unwrap_or_else(|e| panic!("sharded `{name}` must conform to its certificate: {e:?}"));
+        assert_eq!(run.worker_failures, 0, "scenario `{name}`");
+        assert_eq!(run.rows, trials as u64, "scenario `{name}`");
+    }
+}
+
+#[test]
+fn sharded_builtins_conform_to_their_certificates() {
+    assert_sharded_conformance(6, 0xCE27);
+}
+
+/// Full-depth sharded soundness: 500 trials of every built-in
+/// scenario through worker processes. CI runs it with
+/// `cargo test --release -p certify_shard -- --ignored`.
+#[test]
+#[ignore = "500-trial sharded sweep; execute in --release (CI does)"]
+fn sharded_builtins_conform_to_their_certificates_at_depth() {
+    assert_sharded_conformance(500, 0xCE28);
+}
+
+#[test]
+fn zero_certified_budget_is_refused_before_spawning() {
+    // A two-step window on E3's rate-100 cadence certifies to a zero
+    // injection budget: the abstract interpreter proves the campaign
+    // can never inject, which is the error-severity `cert-zero-budget`.
+    // No worker binary is configured — the refusal must come from the
+    // coordinator's certify pass, before worker resolution.
+    use certify_core::spec::InjectionWindow;
+    let mut scenario = Scenario::e3_fig3();
+    scenario.spec.as_mut().unwrap().windows = vec![InjectionWindow::new(0, 2)];
+    let campaign = Campaign::new(scenario, 8, 3);
+    match run_sharded(&campaign, &ShardOptions::new(2), None) {
+        Err(ShardError::BadScenario(diags)) => {
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.code == certify_lint::Code::CertZeroBudget),
+                "diagnostics must name the zero budget: {diags:?}"
+            );
+        }
+        other => panic!("expected BadScenario, got {other:?}"),
+    }
+}
+
 #[test]
 fn warning_level_findings_do_not_block_sharded_runs() {
     // max_injections == 0 lints as a warning (`spec-zero-injection-cap`)
@@ -235,6 +289,9 @@ fn worker_with_closed_output_pipe_exits_nonzero() {
         write_frame(
             &mut stdin,
             &Frame::Handshake(Handshake {
+                certificate_fingerprint: certify_lint::certify_scenario(&Scenario::e1_root_high())
+                    .0
+                    .fingerprint(),
                 scenario: Scenario::e1_root_high(),
                 base_seed: 1,
                 start_trial: 0,
