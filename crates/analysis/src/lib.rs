@@ -17,7 +17,10 @@
 //!   reported shares next to the measured ones, built from
 //!   `CampaignStats`;
 //! * [`report`] — per-experiment textual reports combining all of the
-//!   above, built from `CampaignStats`.
+//!   above, built from `CampaignStats`;
+//! * [`goldendiff`] — trace-level propagation analysis: an anomalous
+//!   trial's flight-recorder dump diffed against a fault-free re-run
+//!   of the same seed, pinpointing the first divergent event.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@
 pub mod availability;
 pub mod export;
 pub mod figure;
+pub mod goldendiff;
 pub mod logparse;
 pub mod report;
 pub mod timeline;
@@ -32,6 +36,7 @@ pub mod timeline;
 pub use availability::{campaign_availability, AvailabilityReport};
 pub use export::{campaign_to_csv, trial_to_csv_row, CsvSink, CSV_HEADER};
 pub use figure::{Figure3, PAPER_FIG3_SHARES};
+pub use goldendiff::{golden_diff, Divergence, GoldenDiff};
 pub use logparse::{parse_line, parse_log, LogEvent, LogSource};
 pub use report::ExperimentReport;
 pub use timeline::{Timeline, TimelineEntry};

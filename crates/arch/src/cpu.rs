@@ -44,6 +44,30 @@ pub enum ParkReason {
     HypervisorPanic,
 }
 
+impl ParkReason {
+    /// A stable numeric discriminant for trace streams and logs. The
+    /// trap class of an [`ParkReason::UnhandledTrap`] travels
+    /// separately (see [`ParkReason::trap_code`]).
+    pub fn code(&self) -> u8 {
+        match self {
+            ParkReason::Idle => 0,
+            ParkReason::UnhandledTrap(_) => 1,
+            ParkReason::CellShutdown => 2,
+            ParkReason::FailedOnline => 3,
+            ParkReason::HypervisorPanic => 4,
+        }
+    }
+
+    /// The offending exception-class code for an unhandled trap, 0
+    /// otherwise.
+    pub fn trap_code(&self) -> u8 {
+        match self {
+            ParkReason::UnhandledTrap(code) => *code,
+            _ => 0,
+        }
+    }
+}
+
 impl fmt::Display for ParkReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

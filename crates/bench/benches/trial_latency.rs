@@ -16,9 +16,12 @@
 //! * `--check <path>` — compare the E3 mean against the committed
 //!   baseline JSON and exit non-zero if it regressed by more than
 //!   25 % (the CI gate);
-//! * `--overhead-check` — interleave plain and telemetry-observed E3
-//!   rounds and fail if observation costs more than 5 % (the
-//!   observability overhead gate).
+//! * `--overhead-check` — interleave plain, telemetry-observed,
+//!   tracing-off (`run_trial_traced(seed, None)`) and tracing-on E3
+//!   rounds; fail if observation or the disarmed tracing path costs
+//!   more than 5 % over plain (the observability overhead gates), and
+//!   report the armed flight recorder's cost as an advisory JSON
+//!   number (`e3_traced_on_mean_us`).
 //!
 //! Per-trial latencies are also folded into a `certify_obs::Histogram`
 //! (5 µs buckets), so the report carries E3 p50/p90/p99 alongside the
@@ -35,7 +38,7 @@
 
 use certify_bench::{json_number, resolve_baseline_path as resolve};
 use certify_core::campaign::Scenario;
-use certify_core::{MemFaultModel, MemTarget};
+use certify_core::{MemFaultModel, MemTarget, TraceConfig};
 use certify_obs::{Histogram, MonotonicClock};
 use std::time::Instant;
 
@@ -166,6 +169,43 @@ fn measure_overhead(rounds: usize, trials: usize) -> (f64, f64) {
     (plain_best, observed_best)
 }
 
+/// Best-round means of plain vs tracing-off
+/// (`run_trial_traced(seed, None)`) vs tracing-on E3 trials, the
+/// three variants interleaved round by round. Tracing-off must be the
+/// plain path (an `Option` check per component, nothing else);
+/// tracing-on pays for the ring and is reported, not gated.
+fn measure_tracing_overhead(rounds: usize, trials: usize) -> (f64, f64, f64) {
+    let runner = Scenario::e3_fig3().runner();
+    let trace = TraceConfig::new();
+    for seed in 0..(trials / 4).max(8) as u64 {
+        std::hint::black_box(runner.run_trial(seed));
+        std::hint::black_box(runner.run_trial_traced(seed, None));
+        std::hint::black_box(runner.run_trial_traced(seed, Some(&trace)));
+    }
+    let mut plain_best = f64::INFINITY;
+    let mut off_best = f64::INFINITY;
+    let mut on_best = f64::INFINITY;
+    for round in 0..rounds {
+        let base = 0xD5_2022 + round as u64 * trials as u64;
+        let start = Instant::now();
+        for i in 0..trials as u64 {
+            std::hint::black_box(runner.run_trial(base + i));
+        }
+        plain_best = plain_best.min(start.elapsed().as_secs_f64() * 1e6 / trials as f64);
+        let start = Instant::now();
+        for i in 0..trials as u64 {
+            std::hint::black_box(runner.run_trial_traced(base + i, None));
+        }
+        off_best = off_best.min(start.elapsed().as_secs_f64() * 1e6 / trials as f64);
+        let start = Instant::now();
+        for i in 0..trials as u64 {
+            std::hint::black_box(runner.run_trial_traced(base + i, Some(&trace)));
+        }
+        on_best = on_best.min(start.elapsed().as_secs_f64() * 1e6 / trials as f64);
+    }
+    (plain_best, off_best, on_best)
+}
+
 fn main() {
     let config = parse_args();
     println!(
@@ -207,10 +247,24 @@ fn main() {
         if e3_best < TARGET_US { "MET" } else { "MISSED" }
     );
 
-    // The percentile keys are appended after the original schema so a
-    // previously committed baseline (without them) still `--check`s.
+    // With --overhead-check, the tracing rounds run before the JSON
+    // is assembled so their keys can ride in the report.
+    let tracing = config
+        .overhead_check
+        .then(|| measure_tracing_overhead(config.rounds, config.trials));
+    let tracing_keys = tracing
+        .map(|(_, off, on)| {
+            format!(
+                ",\n  \"e3_traced_off_mean_us\": {off:.1},\n  \"e3_traced_on_mean_us\": {on:.1}"
+            )
+        })
+        .unwrap_or_default();
+
+    // The percentile and tracing keys are appended after the original
+    // schema so a previously committed baseline (without them) still
+    // `--check`s.
     let json = format!(
-        "{{\n  \"bench\": \"trial_latency\",\n  \"mode\": \"{}\",\n  \"rounds\": {},\n  \"trials_per_round\": {},\n  \"e3_mean_us\": {:.1},\n  \"e3_worst_round_us\": {:.1},\n  \"golden_mean_us\": {:.1},\n  \"golden_worst_round_us\": {:.1},\n  \"e6_mean_us\": {:.1},\n  \"e6_worst_round_us\": {:.1},\n  \"target_us\": {:.1},\n  \"seed_baseline_us\": {:.1},\n  \"e3_p50_us\": {:.1},\n  \"e3_p90_us\": {:.1},\n  \"e3_p99_us\": {:.1}\n}}\n",
+        "{{\n  \"bench\": \"trial_latency\",\n  \"mode\": \"{}\",\n  \"rounds\": {},\n  \"trials_per_round\": {},\n  \"e3_mean_us\": {:.1},\n  \"e3_worst_round_us\": {:.1},\n  \"golden_mean_us\": {:.1},\n  \"golden_worst_round_us\": {:.1},\n  \"e6_mean_us\": {:.1},\n  \"e6_worst_round_us\": {:.1},\n  \"target_us\": {:.1},\n  \"seed_baseline_us\": {:.1},\n  \"e3_p50_us\": {:.1},\n  \"e3_p90_us\": {:.1},\n  \"e3_p99_us\": {:.1}{tracing_keys}\n}}\n",
         if config.fast { "fast" } else { "full" },
         config.rounds,
         config.trials,
@@ -266,5 +320,23 @@ fn main() {
              ({OVERHEAD_FACTOR}x the plain {plain:.1} us mean)"
         );
         println!("overhead check passed");
+
+        let (t_plain, t_off, t_on) = tracing.expect("tracing rounds ran above");
+        let limit = t_plain * OVERHEAD_FACTOR;
+        println!(
+            "tracing-off check: plain {t_plain:.1} us vs traced-off {t_off:.1} us \
+             (limit {limit:.1} us)"
+        );
+        assert!(
+            t_off <= limit,
+            "tracing-off overhead too high: {t_off:.1} us > {limit:.1} us \
+             ({OVERHEAD_FACTOR}x the plain {t_plain:.1} us mean) — the disarmed \
+             recorder must be the plain path"
+        );
+        println!("tracing-off check passed");
+        println!(
+            "tracing-on (advisory): {t_on:.1} us/trial ({:.2}x plain)",
+            t_on / t_plain
+        );
     }
 }

@@ -159,12 +159,16 @@ impl Machine {
     /// forwarding expirations to the GIC as private interrupts. Timer
     /// counters advance lazily: the array is only walked when the
     /// earliest deadline is due.
-    pub fn advance(&mut self) {
+    ///
+    /// Returns true when the watchdog expired on this step, so the
+    /// caller can observe the bite at the step it happens instead of
+    /// mining `wdt.expiries()` after the fact.
+    pub fn advance(&mut self) -> bool {
         self.step += 1;
         if self.step >= self.timer_next {
             self.sync_timers();
         }
-        self.wdt.step(self.step);
+        self.wdt.step(self.step)
     }
 
     /// Applies the steps elapsed since the last synchronisation to

@@ -23,11 +23,14 @@ use crate::spec::{InjectionSpec, MemorySpec};
 use crate::stats::CampaignStats;
 use crate::system::System;
 use crate::telemetry::{outcome_rows, EngineTelemetry};
+use crate::trace::{trace_event_to_json, TraceConfig, TraceDump};
 use certify_guest_linux::MgmtScript;
+use certify_obs::trace::{TraceEvent, TraceKind, TraceLog, NO_CPU};
 use certify_obs::{Clock, EngineMetrics, PhaseSample, ProgressTracker};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Seed offset decorrelating a trial's memory-injection RNG from its
@@ -189,12 +192,29 @@ impl Scenario {
         }
     }
 
+    /// The fault-free twin of this scenario: same script, same step
+    /// budget, same RTOS workload, both injection specs removed. Run
+    /// at the same seed it is the golden baseline the
+    /// `certify_analysis` golden-diff propagation analysis compares an
+    /// anomalous trace against.
+    pub fn fault_free(&self) -> Scenario {
+        Scenario {
+            name: format!("{}-fault-free", self.name),
+            script: self.script.clone(),
+            spec: None,
+            mem_spec: None,
+            steps: self.steps,
+            rtos_heartbeat: self.rtos_heartbeat,
+        }
+    }
+
     /// Prepares this scenario for running many trials: the script and
     /// specs move behind `Arc`s once, so each trial clones pointers
     /// instead of deep-copying the script program and fault models
     /// (the campaign hot path).
     pub fn runner(&self) -> TrialRunner {
         TrialRunner {
+            name: Arc::from(self.name.as_str()),
             script: Arc::new(self.script.clone()),
             spec: self.spec.clone().map(Arc::new),
             mem_spec: self.mem_spec.clone().map(Arc::new),
@@ -215,6 +235,7 @@ impl Scenario {
 /// `Clone` hands workers a cheap handle.
 #[derive(Debug, Clone)]
 pub struct TrialRunner {
+    name: Arc<str>,
     script: Arc<MgmtScript>,
     spec: Option<Arc<InjectionSpec>>,
     mem_spec: Option<Arc<MemorySpec>>,
@@ -305,6 +326,73 @@ impl TrialRunner {
         };
         (trial, sample)
     }
+
+    /// Runs one seeded trial with a flight recorder attached.
+    ///
+    /// `config: None` is exactly [`TrialRunner::run_trial`] — the same
+    /// code path, no recorder anywhere in the stack (pinned by
+    /// `tests/hotpath_equivalence.rs`). With a config, every component
+    /// records causal events into one bounded ring, a final
+    /// [`certify_obs::trace::TraceKind::ClassifyVerdict`] event stamps
+    /// the outcome, and the ring is captured as a [`TraceDump`] —
+    /// returned for *every* traced trial; the campaign's
+    /// [`crate::DumpPolicy`] decides which dumps reach the sink.
+    ///
+    /// With `policy.on_panic` set, a panic inside the trial prints the
+    /// ring as JSON to stderr before the unwind resumes — the trial
+    /// that kills a worker process explains itself on the way down.
+    pub fn run_trial_traced(
+        &self,
+        seed: u64,
+        config: Option<&TraceConfig>,
+    ) -> (TrialResult, Option<TraceDump>) {
+        let Some(config) = config else {
+            return (self.run_trial(seed), None);
+        };
+        let log = TraceLog::new(config.capacity);
+        let mut system = self.build_system(seed);
+        system.set_tracer(log.clone());
+        let steps = self.steps;
+        let run = |system: &mut System| {
+            system.run(steps);
+            classify(system)
+        };
+        let report = if config.policy.on_panic {
+            match catch_unwind(AssertUnwindSafe(|| run(&mut system))) {
+                Ok(report) => report,
+                Err(payload) => {
+                    let events = log.snapshot();
+                    let doc = Json::obj([
+                        ("seed", Json::U64(seed)),
+                        ("scenario", Json::str(self.name.to_string())),
+                        ("panicked", Json::Bool(true)),
+                        ("total", Json::U64(log.total())),
+                        ("dropped", Json::U64(log.dropped())),
+                        (
+                            "events",
+                            Json::Arr(events.iter().map(trace_event_to_json).collect()),
+                        ),
+                    ]);
+                    eprintln!("{}", doc.render());
+                    resume_unwind(payload);
+                }
+            }
+        } else {
+            run(&mut system)
+        };
+        log.record(TraceEvent {
+            step: system.machine.now(),
+            cpu: NO_CPU,
+            kind: TraceKind::ClassifyVerdict,
+            arg_a: Outcome::ALL
+                .iter()
+                .position(|o| *o == report.outcome)
+                .unwrap_or(0) as u64,
+            arg_b: 0,
+        });
+        let dump = TraceDump::capture(&log, seed, &self.name, report.outcome);
+        (Self::result(seed, report), Some(dump))
+    }
 }
 
 /// One trial's result.
@@ -346,6 +434,7 @@ pub struct Campaign {
     trials: usize,
     base_seed: u64,
     certificate: Option<Arc<ScenarioCertificate>>,
+    trace: Option<TraceConfig>,
 }
 
 impl Campaign {
@@ -356,6 +445,7 @@ impl Campaign {
             trials,
             base_seed,
             certificate: None,
+            trace: None,
         }
     }
 
@@ -372,6 +462,46 @@ impl Campaign {
     /// The attached pre-flight certificate, if any.
     pub fn certificate(&self) -> Option<&Arc<ScenarioCertificate>> {
         self.certificate.as_ref()
+    }
+
+    /// Attaches a tracing configuration (builder style): every trial
+    /// runs with a flight recorder, and trials matching the config's
+    /// [`crate::DumpPolicy`] deliver a [`TraceDump`] to the sink via
+    /// [`TrialSink::accept_dump`] right after their
+    /// [`TrialSink::accept`].
+    ///
+    /// Tracing never changes trial results, sink rows or stats — the
+    /// observability law, pinned by `tests/hotpath_equivalence.rs` and
+    /// `tests/determinism.rs`. On observed runs
+    /// ([`Campaign::run_parallel_streamed_observed`]) tracing takes
+    /// precedence over per-trial phase sampling: traced trials record
+    /// causal events instead of phase timings.
+    pub fn with_trace(mut self, config: TraceConfig) -> Campaign {
+        self.trace = Some(config);
+        self
+    }
+
+    /// The attached tracing configuration, if any.
+    pub fn trace(&self) -> Option<&TraceConfig> {
+        self.trace.as_ref()
+    }
+
+    /// Whether `trial`'s dump should reach the sink: its outcome is in
+    /// the policy's set, or it violates the attached certificate and
+    /// the policy dumps on conformance violations.
+    fn should_dump(&self, trial: &TrialResult) -> bool {
+        let Some(config) = &self.trace else {
+            return false;
+        };
+        if config.policy.wants(trial.outcome) {
+            return true;
+        }
+        if config.policy.on_conformance_violation {
+            if let Some(certificate) = &self.certificate {
+                return !certificate.check_trial(trial).is_empty();
+            }
+        }
+        false
     }
 
     /// The scenario under test.
@@ -461,13 +591,18 @@ impl Campaign {
             .as_ref()
             .map(MemorySpec::skip_prediction);
         for seq in start_trial..end {
-            let trial = runner.run_trial(self.base_seed + seq as u64);
+            let (trial, dump) =
+                runner.run_trial_traced(self.base_seed + seq as u64, self.trace.as_ref());
             #[cfg(debug_assertions)]
             assert_skips_predicted(prediction.as_ref(), &trial);
             #[cfg(debug_assertions)]
             assert_certificate_conformance(self.certificate.as_deref(), &trial);
             stats.record(&trial);
+            let kept = dump.filter(|_| self.should_dump(&trial));
             sink.accept(seq, trial);
+            if let Some(dump) = kept {
+                sink.accept_dump(seq, dump);
+            }
         }
         stats
     }
@@ -541,6 +676,7 @@ impl Campaign {
         let runner = self.scenario.runner();
         let trials = self.trials;
         let base_seed = self.base_seed;
+        let trace = self.trace.as_ref();
         let mut stats = CampaignStats::new(self.scenario.name.clone());
 
         let shared = Mutex::new(Reorder {
@@ -592,20 +728,29 @@ impl Campaign {
                             }
                             seq
                         };
-                        let trial = match (clock, local.as_mut()) {
-                            (Some(clock), Some(local)) => {
-                                let (trial, sample) =
-                                    runner.run_trial_observed(base_seed + seq as u64, clock);
-                                local.trials.inc();
-                                local.phases.record(&sample);
-                                trial
-                            }
-                            _ => runner.run_trial(base_seed + seq as u64),
+                        // Traced trials record causal events instead
+                        // of phase timings (tracing wins when both are
+                        // configured; results are identical either
+                        // way).
+                        let (trial, dump) = if trace.is_some() {
+                            runner.run_trial_traced(base_seed + seq as u64, trace)
+                        } else {
+                            let trial = match (clock, local.as_mut()) {
+                                (Some(clock), Some(local)) => {
+                                    let (trial, sample) =
+                                        runner.run_trial_observed(base_seed + seq as u64, clock);
+                                    local.trials.inc();
+                                    local.phases.record(&sample);
+                                    trial
+                                }
+                                _ => runner.run_trial(base_seed + seq as u64),
+                            };
+                            (trial, None)
                         };
                         let mut state = shared.lock().expect("campaign engine lock");
                         state.undelivered += 1;
                         state.high_water = state.high_water.max(state.undelivered);
-                        state.buffer.insert(seq, trial);
+                        state.buffer.insert(seq, (trial, dump));
                         drop(state);
                         ready.notify_all();
                     }
@@ -627,7 +772,7 @@ impl Campaign {
             };
             let tracker = clock.map(|clock| ProgressTracker::new(clock, None, trials as u64));
             for seq in 0..trials {
-                let trial = {
+                let (trial, dump) = {
                     let mut state = shared.lock().expect("campaign engine lock");
                     loop {
                         if let Some(trial) = state.buffer.remove(&seq) {
@@ -638,7 +783,11 @@ impl Campaign {
                     }
                 };
                 stats.record(&trial);
+                let kept = dump.filter(|_| self.should_dump(&trial));
                 sink.accept(seq, trial);
+                if let Some(dump) = kept {
+                    sink.accept_dump(seq, dump);
+                }
                 let mut state = shared.lock().expect("campaign engine lock");
                 state.undelivered -= 1;
                 state.delivered += 1;
@@ -724,8 +873,9 @@ struct Reorder {
     next: usize,
     /// Trials already delivered to the sink.
     delivered: usize,
-    /// Completed trials waiting for their turn at the sink.
-    buffer: BTreeMap<usize, TrialResult>,
+    /// Completed trials (with their optional trace dump) waiting for
+    /// their turn at the sink.
+    buffer: BTreeMap<usize, (TrialResult, Option<TraceDump>)>,
     /// Completed-but-undelivered reports (buffer plus the one the
     /// consumer is currently handing to the sink).
     undelivered: usize,

@@ -285,6 +285,10 @@ impl<S: TrialSink> TrialSink for ConformanceMonitor<S> {
         self.inner.accept(seq, trial);
     }
 
+    fn accept_dump(&mut self, seq: usize, dump: crate::trace::TraceDump) {
+        self.inner.accept_dump(seq, dump);
+    }
+
     fn bytes_written(&self) -> Option<u64> {
         self.inner.bytes_written()
     }

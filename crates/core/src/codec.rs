@@ -22,10 +22,12 @@ use crate::fault::FaultModel;
 use crate::memfault::{MemFaultModel, MemRegionKind, MemTarget};
 use crate::spec::{InjectionSpec, InjectionWindow, MemorySpec};
 use crate::stats::{CampaignStats, CountSummary};
+use crate::trace::{DumpPolicy, TraceConfig, TraceDump};
 use crate::Scenario;
 use certify_arch::{CpuId, Reg};
 use certify_guest_linux::{MgmtOp, MgmtScript};
 use certify_hypervisor::HandlerKind;
+use certify_obs::trace::{TraceEvent, TraceKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -801,6 +803,101 @@ impl Wire for ScenarioCertificate {
     }
 }
 
+// ---- trace streams -------------------------------------------------------
+
+impl Wire for TraceKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.code());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<TraceKind, DecodeError> {
+        let tag = u8::decode(r)?;
+        TraceKind::from_code(tag).ok_or(DecodeError::BadTag {
+            what: "TraceKind",
+            tag,
+        })
+    }
+}
+
+impl Wire for TraceEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.step.encode(out);
+        self.cpu.encode(out);
+        self.kind.encode(out);
+        self.arg_a.encode(out);
+        self.arg_b.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<TraceEvent, DecodeError> {
+        Ok(TraceEvent {
+            step: u64::decode(r)?,
+            cpu: u32::decode(r)?,
+            kind: TraceKind::decode(r)?,
+            arg_a: u64::decode(r)?,
+            arg_b: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for DumpPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.outcomes.encode(out);
+        self.on_conformance_violation.encode(out);
+        self.on_panic.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<DumpPolicy, DecodeError> {
+        Ok(DumpPolicy {
+            outcomes: BTreeSet::decode(r)?,
+            on_conformance_violation: bool::decode(r)?,
+            on_panic: bool::decode(r)?,
+        })
+    }
+}
+
+impl Wire for TraceConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.capacity.encode(out);
+        self.policy.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<TraceConfig, DecodeError> {
+        let config = TraceConfig {
+            capacity: usize::decode(r)?,
+            policy: DumpPolicy::decode(r)?,
+        };
+        if config.capacity == 0 {
+            return Err(DecodeError::Invalid {
+                what: "trace config capacity is zero",
+            });
+        }
+        Ok(config)
+    }
+}
+
+impl Wire for TraceDump {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seed.encode(out);
+        self.scenario.encode(out);
+        self.outcome.encode(out);
+        self.total.encode(out);
+        self.dropped.encode(out);
+        self.events.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<TraceDump, DecodeError> {
+        let dump = TraceDump {
+            seed: u64::decode(r)?,
+            scenario: String::decode(r)?,
+            outcome: Outcome::decode(r)?,
+            total: u64::decode(r)?,
+            dropped: u64::decode(r)?,
+            events: Vec::decode(r)?,
+        };
+        if dump.dropped.checked_add(dump.events.len() as u64) != Some(dump.total) {
+            return Err(DecodeError::Invalid {
+                what: "trace dump event accounting is inconsistent",
+            });
+        }
+        Ok(dump)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -998,6 +1095,94 @@ mod tests {
                 what: "certificate predicts no outcomes"
             })
         );
+    }
+
+    #[test]
+    fn trace_types_round_trip() {
+        round_trip(&TraceConfig::default());
+        round_trip(
+            &TraceConfig::default()
+                .with_capacity(16)
+                .with_policy(DumpPolicy::all_outcomes()),
+        );
+        let dump = TraceDump {
+            seed: 7,
+            scenario: "e7-mixed".into(),
+            outcome: Outcome::SilentDataCorruption,
+            total: 5,
+            dropped: 3,
+            events: vec![
+                TraceEvent {
+                    step: 3301,
+                    cpu: 1,
+                    kind: TraceKind::InjectionApplied,
+                    arg_a: 2,
+                    arg_b: 100,
+                },
+                TraceEvent {
+                    step: 4500,
+                    cpu: u32::MAX,
+                    kind: TraceKind::ClassifyVerdict,
+                    arg_a: 5,
+                    arg_b: 0,
+                },
+            ],
+        };
+        round_trip(&dump);
+        for kind in TraceKind::ALL {
+            round_trip(&kind);
+        }
+    }
+
+    #[test]
+    fn malformed_trace_values_are_rejected() {
+        assert!(matches!(
+            decode_exact::<TraceKind>(&[TraceKind::ALL.len() as u8]),
+            Err(DecodeError::BadTag {
+                what: "TraceKind",
+                ..
+            })
+        ));
+
+        let config = TraceConfig::default().with_capacity(0);
+        let bytes = encode_to_vec(&config);
+        assert_eq!(
+            decode_exact::<TraceConfig>(&bytes),
+            Err(DecodeError::Invalid {
+                what: "trace config capacity is zero"
+            })
+        );
+
+        // A dump whose drop accounting does not add up.
+        let mut dump = TraceDump {
+            seed: 1,
+            scenario: "x".into(),
+            outcome: Outcome::Correct,
+            total: 10,
+            dropped: 0,
+            events: Vec::new(),
+        };
+        dump.total = 10;
+        let bytes = encode_to_vec(&dump);
+        assert_eq!(
+            decode_exact::<TraceDump>(&bytes),
+            Err(DecodeError::Invalid {
+                what: "trace dump event accounting is inconsistent"
+            })
+        );
+    }
+
+    #[test]
+    fn trace_event_encoding_is_29_bytes() {
+        // The fixed event size the README quotes for ring sizing.
+        let event = TraceEvent {
+            step: 0,
+            cpu: 0,
+            kind: TraceKind::HandlerEntry,
+            arg_a: 0,
+            arg_b: 0,
+        };
+        assert_eq!(encode_to_vec(&event).len(), 29);
     }
 
     #[test]

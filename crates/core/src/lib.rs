@@ -51,6 +51,10 @@
 //! * [`telemetry`] — the `certify_obs` bridge: the
 //!   [`telemetry::EngineTelemetry`] bundle observed campaign runs
 //!   record into, and JSON views of metrics and progress snapshots;
+//! * [`trace`] — trial tracing: the per-trial flight recorder's
+//!   [`trace::TraceConfig`], the anomaly [`trace::DumpPolicy`] and the
+//!   [`trace::TraceDump`] artifact with its JSON / Chrome-trace
+//!   exports;
 //! * [`profiler`] — golden-run profiling that ranks handler
 //!   activations and (re)derives the paper's three injection points.
 //!
@@ -83,6 +87,7 @@ pub mod spec;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
+pub mod trace;
 
 pub use campaign::{Campaign, CampaignResult, Scenario, TrialResult, TrialRunner};
 pub use certificate::{ConformanceMonitor, ConformanceViolation, PhaseBound, ScenarioCertificate};
@@ -105,3 +110,4 @@ pub use telemetry::{
     engine_metrics_to_json, histogram_to_json, progress_to_json, shard_metrics_to_json,
     EngineTelemetry,
 };
+pub use trace::{DumpPolicy, TraceConfig, TraceDump, DEFAULT_TRACE_CAPACITY};

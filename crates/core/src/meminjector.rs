@@ -15,6 +15,7 @@ use crate::memfault::AppliedMemFault;
 use crate::spec::MemorySpec;
 use certify_board::Machine;
 use certify_hypervisor::Hypervisor;
+use certify_obs::trace::{TraceEvent, TraceKind, TraceLog, NO_CPU};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,9 @@ pub struct MemInjector {
     next_fire: u64,
     injections_done: u64,
     log: MemInjectionLog,
+    /// The causal trace sink, if a flight recorder is attached; every
+    /// applied or skipped attempt is recorded into it.
+    tracer: Option<TraceLog>,
 }
 
 impl MemInjector {
@@ -130,7 +134,14 @@ impl MemInjector {
             rng,
             injections_done: 0,
             log: MemInjectionLog::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a causal trace log; every injection attempt (applied
+    /// or skipped) is recorded into it.
+    pub fn set_tracer(&mut self, tracer: TraceLog) {
+        self.tracer = Some(tracer);
     }
 
     /// A shared handle to the injection log.
@@ -201,6 +212,20 @@ impl MemInjector {
                     skipped: Some(skip.to_string()),
                 },
             };
+            if let Some(tracer) = &self.tracer {
+                let (kind, arg_a) = if record.applied() {
+                    (TraceKind::MemInjectionApplied, record.faults.len() as u64)
+                } else {
+                    (TraceKind::MemInjectionSkipped, trigger)
+                };
+                tracer.record(TraceEvent {
+                    step,
+                    cpu: NO_CPU,
+                    kind,
+                    arg_a,
+                    arg_b: 0,
+                });
+            }
             self.log.push(record);
         }
     }

@@ -12,6 +12,7 @@
 //! multi-process shard is just a remote `TrialSink`.
 
 use crate::campaign::TrialResult;
+use crate::trace::TraceDump;
 
 /// A streaming consumer of trial results.
 ///
@@ -24,6 +25,15 @@ use crate::campaign::TrialResult;
 pub trait TrialSink {
     /// Delivers trial number `seq` (0-based, in seed order).
     fn accept(&mut self, seq: usize, trial: TrialResult);
+
+    /// Delivers trial `seq`'s flight-recorder dump, immediately after
+    /// that trial's [`TrialSink::accept`]. Only called on traced
+    /// campaigns ([`crate::Campaign::with_trace`]) and only for trials
+    /// the dump policy selected; the default implementation discards
+    /// the dump, so sinks that don't care never see tracing.
+    fn accept_dump(&mut self, seq: usize, dump: TraceDump) {
+        let _ = (seq, dump);
+    }
 
     /// Bytes this sink has written to its output so far, if it
     /// measures that (`None` for sinks with no byte-shaped output).
@@ -43,11 +53,13 @@ impl TrialSink for NullSink {
     fn accept(&mut self, _seq: usize, _trial: TrialResult) {}
 }
 
-/// A sink that buffers every trial — the adapter the buffered
-/// `Campaign::run`/`run_parallel` are built on.
+/// A sink that buffers every trial (and every delivered trace dump) —
+/// the adapter the buffered `Campaign::run`/`run_parallel` are built
+/// on.
 #[derive(Debug, Clone, Default)]
 pub struct CollectSink {
     trials: Vec<TrialResult>,
+    dumps: Vec<(usize, TraceDump)>,
 }
 
 impl CollectSink {
@@ -60,12 +72,27 @@ impl CollectSink {
     pub fn into_trials(self) -> Vec<TrialResult> {
         self.trials
     }
+
+    /// The buffered trace dumps, as `(seq, dump)` in seed order
+    /// (empty unless the campaign was traced).
+    pub fn dumps(&self) -> &[(usize, TraceDump)] {
+        &self.dumps
+    }
+
+    /// Consumes the collector, returning trials and dumps.
+    pub fn into_parts(self) -> (Vec<TrialResult>, Vec<(usize, TraceDump)>) {
+        (self.trials, self.dumps)
+    }
 }
 
 impl TrialSink for CollectSink {
     fn accept(&mut self, seq: usize, trial: TrialResult) {
         debug_assert_eq!(seq, self.trials.len(), "sink deliveries out of order");
         self.trials.push(trial);
+    }
+
+    fn accept_dump(&mut self, seq: usize, dump: TraceDump) {
+        self.dumps.push((seq, dump));
     }
 }
 

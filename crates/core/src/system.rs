@@ -19,6 +19,7 @@ use certify_guest_linux::{LinuxGuest, MgmtScript};
 use certify_hypervisor::hv::IrqDelivery;
 use certify_hypervisor::hypercall as hc;
 use certify_hypervisor::{CellId, Guest, GuestCtx, Hypervisor, SystemConfig};
+use certify_obs::trace::{TraceEvent, TraceKind, TraceLog, NO_CPU};
 use certify_rtos::RtosGuest;
 use std::sync::Arc;
 
@@ -43,6 +44,10 @@ pub struct System {
     mem_injection_log: Option<MemInjectionLog>,
     steps_run: u64,
     rtos_broken_observed: bool,
+    /// The causal trace sink, if a flight recorder is attached; the
+    /// orchestrator records watchdog bites and corruption-notice
+    /// deliveries into it (components hold their own clones).
+    tracer: Option<TraceLog>,
     boot_failures: u64,
     /// Cached per-CPU cell ownership, refreshed only when the
     /// hypervisor's ownership epoch changes (ownership changes a
@@ -123,6 +128,7 @@ impl System {
             mem_injection_log: None,
             steps_run: 0,
             rtos_broken_observed: false,
+            tracer: None,
             boot_failures: 0,
             owner_cache: vec![None; num_cpus],
             owner_epoch,
@@ -158,11 +164,30 @@ impl System {
         spec: impl Into<Arc<MemorySpec>>,
         seed: u64,
     ) -> MemInjectionLog {
-        let injector = MemInjector::new(spec, seed);
+        let mut injector = MemInjector::new(spec, seed);
+        if let Some(tracer) = &self.tracer {
+            injector.set_tracer(tracer.clone());
+        }
         let log = injector.log();
         self.mem_injection_log = Some(log.clone());
         self.mem_injector = Some(injector);
         log
+    }
+
+    /// Attaches a causal trace log to the whole stack: the hypervisor
+    /// records handler entries, injections, traps and parks; the RTOS
+    /// guest records scheduler decisions; the memory injector records
+    /// its applied/skipped attempts; the orchestrator itself records
+    /// watchdog bites and corruption-notice deliveries. Clones share
+    /// one bounded ring, so attaching is O(1) and recording never
+    /// reallocates past the ring capacity.
+    pub fn set_tracer(&mut self, tracer: TraceLog) {
+        self.hv.set_tracer(tracer.clone());
+        self.rtos.set_tracer(tracer.clone());
+        if let Some(injector) = self.mem_injector.as_mut() {
+            injector.set_tracer(tracer.clone());
+        }
+        self.tracer = Some(tracer);
     }
 
     /// The memory-injection log, if a memory injector is installed.
@@ -202,7 +227,18 @@ impl System {
     /// Advances the whole stack by one simulator step.
     pub fn step(&mut self) {
         self.steps_run += 1;
-        self.machine.advance();
+        let watchdog_bit = self.machine.advance();
+        if watchdog_bit {
+            if let Some(tracer) = &self.tracer {
+                tracer.record(TraceEvent {
+                    step: self.machine.now(),
+                    cpu: NO_CPU,
+                    kind: TraceKind::WatchdogBite,
+                    arg_a: self.machine.wdt.expiries().len() as u64,
+                    arg_b: 0,
+                });
+            }
+        }
 
         // Wake and drain only when some CPU actually has a pending
         // interrupt — the GIC keeps an O(1) count, and most steps have
@@ -238,6 +274,19 @@ impl System {
         // drained only when the hypervisor flagged one (dirty check).
         if self.hv.has_corruption_notices() {
             for cell in self.hv.take_corruption_notices() {
+                // Observed at the drain, one step after the wild store
+                // or memory injection posted the notice — the delivery
+                // is the causally interesting moment (the victim guest
+                // faults on its next slice).
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(TraceEvent {
+                        step: self.machine.now(),
+                        cpu: NO_CPU,
+                        kind: TraceKind::CorruptionNotice,
+                        arg_a: cell.0 as u64,
+                        arg_b: 0,
+                    });
+                }
                 if cell == certify_hypervisor::cell::ROOT_CELL {
                     self.linux.on_memory_corrupted();
                 } else {

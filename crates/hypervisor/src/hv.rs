@@ -22,6 +22,7 @@ use certify_arch::cpu::ParkReason;
 use certify_arch::syndrome::{ExceptionClass, Syndrome};
 use certify_arch::{CpuId, IrqId, Reg, RegisterFile, SPURIOUS_IRQ};
 use certify_board::{memmap, Machine};
+use certify_obs::trace::{TraceEvent, TraceKind, TraceLog};
 use std::fmt;
 
 /// Maximum size of a staged configuration blob.
@@ -69,6 +70,9 @@ pub struct Hypervisor {
     events: Vec<HvEvent>,
     evidence: Evidence,
     trace_handlers: bool,
+    /// The causal trace sink, if a flight recorder is attached. `None`
+    /// is the hot path: one branch per event site, nothing else.
+    tracer: Option<TraceLog>,
     corruption_notices: Vec<CellId>,
     latent_hv_corruption: bool,
     panic: Option<String>,
@@ -112,6 +116,7 @@ impl Hypervisor {
             events: Vec::new(),
             evidence: Evidence::default(),
             trace_handlers: false,
+            tracer: None,
             corruption_notices: Vec::new(),
             latent_hv_corruption: false,
             panic: None,
@@ -201,6 +206,12 @@ impl Hypervisor {
     /// stream is large).
     pub fn set_trace_handlers(&mut self, on: bool) {
         self.trace_handlers = on;
+    }
+
+    /// Attaches a causal trace log. The hypervisor records handler
+    /// entries, applied injections, guest traps and CPU parks into it.
+    pub fn set_tracer(&mut self, tracer: TraceLog) {
+        self.tracer = Some(tracer);
     }
 
     /// Installs a fault-injection hook.
@@ -337,6 +348,15 @@ impl Hypervisor {
                 step,
             });
         }
+        if let Some(tracer) = &self.tracer {
+            tracer.record(TraceEvent {
+                step,
+                cpu: cpu.0,
+                kind: TraceKind::HandlerEntry,
+                arg_a: handler.index() as u64,
+                arg_b: call_index,
+            });
+        }
         if let Some(hook) = self.hook.as_mut() {
             // Debug builds police the touched contract: a hook that
             // mutates the context without `mark_touched` would have
@@ -359,6 +379,17 @@ impl Hypervisor {
                 "injection hook mutated the register context without \
                  calling HookCtx::mark_touched"
             );
+            if touched {
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(TraceEvent {
+                        step,
+                        cpu: cpu.0,
+                        kind: TraceKind::InjectionApplied,
+                        arg_a: handler.index() as u64,
+                        arg_b: call_index,
+                    });
+                }
+            }
             touched
         } else {
             false
@@ -461,6 +492,15 @@ impl Hypervisor {
             machine
                 .cpu_mut(CpuId(i as u32))
                 .park(ParkReason::HypervisorPanic);
+            if let Some(tracer) = &self.tracer {
+                tracer.record(TraceEvent {
+                    step,
+                    cpu: i as u32,
+                    kind: TraceKind::CpuParked,
+                    arg_a: ParkReason::HypervisorPanic.code() as u64,
+                    arg_b: 0,
+                });
+            }
         }
         self.events.push(HvEvent::HypervisorPanic {
             message: message.clone(),
@@ -477,6 +517,15 @@ impl Hypervisor {
         let detail = format!("[hyp] parking {cpu}: {reason}\n");
         machine.uart.write_str(&detail, step);
         self.events.push(HvEvent::CpuParked { cpu, reason, step });
+        if let Some(tracer) = &self.tracer {
+            tracer.record(TraceEvent {
+                step,
+                cpu: cpu.0,
+                kind: TraceKind::CpuParked,
+                arg_a: reason.code() as u64,
+                arg_b: reason.trap_code() as u64,
+            });
+        }
         self.evidence.record_park(cpu, reason);
         if let Some(owner) = self.cpu_owner(cpu) {
             if owner != ROOT_CELL {
@@ -1277,6 +1326,15 @@ impl Hypervisor {
         let step = machine.now();
         self.ensure_cpu_slots(machine.num_cpus());
         let owner = self.cpu_owner(cpu).unwrap_or(ROOT_CELL);
+        if let Some(tracer) = &self.tracer {
+            tracer.record(TraceEvent {
+                step,
+                cpu: cpu.0,
+                kind: TraceKind::TrapTaken,
+                arg_a: syndrome.encode() as u64,
+                arg_b: far as u64,
+            });
+        }
 
         let mut regs = machine.cpu(cpu).regs.clone();
         let entry_elr = regs.read(Reg::PC);

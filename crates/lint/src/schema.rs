@@ -27,8 +27,10 @@ use certify_core::{
     engine_metrics_to_json, progress_to_json, shard_metrics_to_json, PhaseBound,
     ScenarioCertificate, Wire,
 };
+use certify_core::{DumpPolicy, TraceConfig, TraceDump};
 use certify_guest_linux::{MgmtOp, MgmtScript};
 use certify_hypervisor::HandlerKind;
+use certify_obs::trace::{TraceEvent, TraceKind, NO_CPU};
 use certify_obs::{EngineMetrics, PhaseSample, ProgressSnapshot, ShardMetrics};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -204,6 +206,49 @@ fn full_shard_metrics() -> ShardMetrics {
     metrics
 }
 
+/// A tracing configuration with every field non-default.
+fn full_trace_config() -> TraceConfig {
+    TraceConfig {
+        capacity: 1024,
+        policy: DumpPolicy {
+            outcomes: [
+                certify_core::Outcome::SilentDataCorruption,
+                certify_core::Outcome::Correct,
+            ]
+            .into_iter()
+            .collect(),
+            on_conformance_violation: false,
+            on_panic: false,
+        },
+    }
+}
+
+/// A trace dump whose events cover every [`TraceKind`] variant, both
+/// CPU-bound and machine-level (`NO_CPU`) lanes, and a non-zero drop
+/// counter — so any change to the event encoding or the dump framing
+/// moves the fingerprint.
+fn full_trace_dump() -> TraceDump {
+    let events: Vec<TraceEvent> = TraceKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| TraceEvent {
+            step: 100 + i as u64,
+            cpu: if i % 3 == 0 { NO_CPU } else { i as u32 },
+            kind,
+            arg_a: i as u64,
+            arg_b: 0xb0 + i as u64,
+        })
+        .collect();
+    TraceDump {
+        seed: 77,
+        scenario: "schema-witness".into(),
+        outcome: certify_core::Outcome::SilentDataCorruption,
+        total: events.len() as u64 + 3,
+        dropped: 3,
+        events,
+    }
+}
+
 /// A mid-run shard snapshot with every field populated.
 fn full_progress_snapshot() -> ProgressSnapshot {
     ProgressSnapshot {
@@ -329,6 +374,19 @@ pub fn current_schema() -> Vec<SchemaEntry> {
         entry_bytes("csv-header", CSV_HEADER.as_bytes()),
         entry("phase-bound", &full_certificate().reg_phases[0]),
         entry("scenario-certificate", &full_certificate()),
+        entry("trace-kind-tags", &TraceKind::ALL.to_vec()),
+        entry(
+            "trace-event",
+            &TraceEvent {
+                step: 0x0102_0304_0506_0708,
+                cpu: 2,
+                kind: TraceKind::TrapTaken,
+                arg_a: 0xaaaa_bbbb_cccc_dddd,
+                arg_b: 0x1111_2222_3333_4444,
+            },
+        ),
+        entry("trace-config-full", &full_trace_config()),
+        entry("trace-dump-full", &full_trace_dump()),
         // JSON surfaces: the rendered byte streams clients parse. A
         // renamed key, reordered field or reformatted number is as
         // much a wire break as a codec change, so the rendered text of
@@ -354,6 +412,14 @@ pub fn current_schema() -> Vec<SchemaEntry> {
             shard_metrics_to_json(&full_shard_metrics())
                 .render()
                 .as_bytes(),
+        ),
+        entry_bytes(
+            "json-trace-dump",
+            full_trace_dump().to_json().render().as_bytes(),
+        ),
+        entry_bytes(
+            "chrome-trace",
+            full_trace_dump().to_chrome_trace().as_bytes(),
         ),
     ]
 }

@@ -22,6 +22,11 @@
 //!   [`progress::ProgressSnapshot`]s.
 //! * [`io`] — byte-counting I/O adapters ([`io::CountingReader`]) so
 //!   frame transports can report wire volume without re-buffering.
+//! * [`trace`] — the causal trace layer: the step-stamped
+//!   [`trace::TraceEvent`] vocabulary, the zero-cost-when-off
+//!   [`trace::Tracer`] trait, and the bounded ring-buffer
+//!   [`trace::FlightRecorder`] behind the cloneable
+//!   [`trace::TraceLog`] handle the testbed's event sites share.
 //!
 //! The cardinal rule, pinned by `tests/hotpath_equivalence.rs` one
 //! level up: **telemetry never influences trial results**. Observed
@@ -35,6 +40,7 @@ pub mod clock;
 pub mod io;
 pub mod metrics;
 pub mod progress;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use io::CountingReader;
@@ -44,3 +50,4 @@ pub use metrics::{
 pub use progress::{
     CollectObserver, NullObserver, ProgressObserver, ProgressSnapshot, ProgressTracker,
 };
+pub use trace::{FlightRecorder, NullTracer, TraceEvent, TraceKind, TraceLog, Tracer, NO_CPU};

@@ -42,12 +42,18 @@ impl Counter {
     }
 }
 
-/// A sampled level with its high-water mark. Merge law: max of both
-/// fields — merged gauges answer "what was the worst level anywhere",
-/// the question that matters when shards report independently.
+/// A high-water-mark gauge. Merge law: max — merged gauges answer
+/// "what was the worst level anywhere", the question that matters
+/// when shards report independently.
+///
+/// The gauge deliberately keeps *only* the high-water mark. An
+/// earlier version also tracked the last-set level, which made
+/// `merge` depend on fold order (whichever side happened to be set
+/// last won) and broke full shard-fold == single-fold equality. Max
+/// is commutative, associative and idempotent, so any fold order
+/// gives the same gauge — pinned by `tests/metrics_merge.rs`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Gauge {
-    current: u64,
     high_water: u64,
 }
 
@@ -57,15 +63,15 @@ impl Gauge {
         Gauge::default()
     }
 
-    /// Records the current level, updating the high-water mark.
+    /// Records a level, raising the high-water mark if it is a new
+    /// maximum.
     pub fn set(&mut self, value: u64) {
-        self.current = value;
         self.high_water = self.high_water.max(value);
     }
 
-    /// The last recorded level.
+    /// The largest level ever recorded.
     pub fn get(&self) -> u64 {
-        self.current
+        self.high_water
     }
 
     /// The largest level ever recorded.
@@ -73,9 +79,8 @@ impl Gauge {
         self.high_water
     }
 
-    /// Folds another gauge in (max of both fields).
+    /// Folds another gauge in (max).
     pub fn merge(&mut self, other: &Gauge) {
-        self.current = self.current.max(other.current);
         self.high_water = self.high_water.max(other.high_water);
     }
 }
@@ -417,13 +422,21 @@ mod tests {
         let mut gauge = Gauge::new();
         gauge.set(7);
         gauge.set(3);
-        assert_eq!(gauge.get(), 3);
+        assert_eq!(gauge.get(), 7);
         assert_eq!(gauge.high_water(), 7);
         let mut other = Gauge::new();
         other.set(5);
         gauge.merge(&other);
-        assert_eq!(gauge.get(), 5);
         assert_eq!(gauge.high_water(), 7);
+        // Merge is commutative: the other direction lands in the same
+        // place.
+        let mut reversed = Gauge::new();
+        reversed.set(5);
+        let mut seven = Gauge::new();
+        seven.set(7);
+        seven.set(3);
+        reversed.merge(&seven);
+        assert_eq!(reversed, gauge);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! FreeRTOS-like kernel with the paper's workload.
 
 use crate::kernel::Rtos;
+use crate::task::TaskId;
 use crate::workload;
 use certify_arch::IrqId;
 use certify_board::memmap;
 use certify_hypervisor::{Guest, GuestCtx, GuestHealth};
+use certify_obs::trace::{TraceEvent, TraceKind, TraceLog};
 use std::fmt;
 
 /// The non-root cell guest of the paper: FreeRTOS with the blink /
@@ -24,6 +26,9 @@ pub struct RtosGuest {
     /// Booted, healthy, banner printed, no corruption pending: the
     /// per-slice fast path, re-derived whenever any of those change.
     steady: bool,
+    /// The causal trace sink, if a flight recorder is attached; the
+    /// guest records scheduler decisions into it.
+    tracer: Option<TraceLog>,
 }
 
 impl RtosGuest {
@@ -56,6 +61,25 @@ impl RtosGuest {
             pending_corruption: false,
             with_heartbeat,
             steady: false,
+            tracer: None,
+        }
+    }
+
+    /// Attaches a causal trace log; every scheduler decision is
+    /// recorded into it.
+    pub fn set_tracer(&mut self, tracer: TraceLog) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace_sched(&self, ctx: &GuestCtx<'_>, picked: Option<TaskId>) {
+        if let (Some(tracer), Some(task)) = (&self.tracer, picked) {
+            tracer.record(TraceEvent {
+                step: ctx.now(),
+                cpu: ctx.cpu.0,
+                kind: TraceKind::SchedDecision,
+                arg_a: task.0 as u64,
+                arg_b: 0,
+            });
         }
     }
 
@@ -88,7 +112,8 @@ impl Guest for RtosGuest {
         // Hot path: a healthy, booted, banner-printed guest just runs
         // its next slice.
         if self.steady {
-            self.kernel.run_slice(ctx);
+            let picked = self.kernel.run_slice(ctx);
+            self.trace_sched(ctx, picked);
             if ctx.parked() {
                 self.health = GuestHealth::HardFault;
                 self.steady = false;
@@ -121,7 +146,8 @@ impl Guest for RtosGuest {
             }
         }
         self.steady = true;
-        self.kernel.run_slice(ctx);
+        let picked = self.kernel.run_slice(ctx);
+        self.trace_sched(ctx, picked);
         if ctx.parked() {
             // The slice triggered an unrecoverable trap; stop making
             // progress.

@@ -36,7 +36,7 @@
 
 use crate::protocol::{read_frame, write_frame, Frame, Handshake, ProtocolError};
 use certify_core::telemetry::outcome_rows;
-use certify_core::{Campaign, CampaignStats};
+use certify_core::{Campaign, CampaignStats, TraceDump};
 use certify_lint::{certify_scenario, has_errors, lint_partition, lint_scenario, Diagnostic};
 use certify_obs::{
     Clock, CountingReader, ProgressObserver, ProgressSnapshot, ProgressTracker, ShardMetrics,
@@ -71,6 +71,11 @@ pub struct ShardOptions {
     /// pipe (backpressuring the worker) until the delivery front
     /// catches up.
     pub buffered_rows_per_shard: usize,
+    /// Persist every received trace dump as
+    /// `trace-<seq>.json` under this directory (created if missing).
+    /// Dumps are also returned in [`ShardedRun::dumps`] either way;
+    /// only traced campaigns ([`Campaign::with_trace`]) produce any.
+    pub dump_dir: Option<PathBuf>,
 }
 
 impl ShardOptions {
@@ -83,6 +88,7 @@ impl ShardOptions {
             worker: None,
             sabotage: None,
             buffered_rows_per_shard: 65_536,
+            dump_dir: None,
         }
     }
 
@@ -95,6 +101,12 @@ impl ShardOptions {
     /// Arms the kill-one-worker test hook (builder style).
     pub fn with_sabotage(mut self, shard: usize, after_rows: u64) -> ShardOptions {
         self.sabotage = Some(Sabotage { shard, after_rows });
+        self
+    }
+
+    /// Persists received trace dumps under `dir` (builder style).
+    pub fn with_dump_dir(mut self, dir: impl Into<PathBuf>) -> ShardOptions {
+        self.dump_dir = Some(dir.into());
         self
     }
 }
@@ -131,6 +143,12 @@ pub struct ShardedRun {
     pub metrics: ShardMetrics,
     /// The same metrics, per shard.
     pub shard_metrics: Vec<ShardMetrics>,
+    /// Trace dumps received from the workers, as `(seq, dump)` in
+    /// global seed order (empty unless the campaign was traced).
+    /// Byte-identical to the dumps an in-process traced run of the
+    /// same campaign delivers — pinned by
+    /// `crates/shard/tests/sharded.rs`.
+    pub dumps: Vec<(u64, TraceDump)>,
 }
 
 /// Why a sharded run failed.
@@ -238,6 +256,10 @@ pub fn partition(trials: usize, shards: usize) -> Vec<(usize, usize)> {
 struct Coord {
     /// Undelivered rows, keyed by global trial sequence.
     rows: BTreeMap<u64, Vec<u8>>,
+    /// Trace dumps received so far, keyed by global trial sequence.
+    /// Retried shards re-send dumps; duplicates are byte-identical
+    /// (same seed), so the first copy wins.
+    dumps: BTreeMap<u64, TraceDump>,
     /// Next global sequence the consumer will deliver.
     next_deliver: u64,
     /// Undelivered buffered rows per shard (backpressure accounting).
@@ -379,6 +401,7 @@ fn run_sharded_engine(
             shard_ranges: Vec::new(),
             metrics: ShardMetrics::default(),
             shard_metrics: Vec::new(),
+            dumps: Vec::new(),
         });
     }
 
@@ -387,6 +410,7 @@ fn run_sharded_engine(
     let signals = Signals {
         state: Mutex::new(Coord {
             rows: BTreeMap::new(),
+            dumps: BTreeMap::new(),
             next_deliver: 0,
             buffered: vec![0; ranges.len()],
             done: vec![None; ranges.len()],
@@ -440,6 +464,16 @@ fn run_sharded_engine(
     for shard_metrics in &state.metrics {
         metrics.merge(shard_metrics);
     }
+    let dumps: Vec<(u64, TraceDump)> = state.dumps.into_iter().collect();
+    if let Some(dir) = &opts.dump_dir {
+        std::fs::create_dir_all(dir).map_err(ShardError::Output)?;
+        for (seq, dump) in &dumps {
+            let path = dir.join(format!("trace-{seq:08}.json"));
+            let mut doc = dump.to_json().render();
+            doc.push('\n');
+            std::fs::write(path, doc).map_err(ShardError::Output)?;
+        }
+    }
     if let (Some(tracker), Some(observer)) = (&tracker, observer) {
         // The closing whole-campaign snapshot: every row delivered,
         // outcomes from the merged stats.
@@ -453,6 +487,7 @@ fn run_sharded_engine(
         shard_ranges: ranges,
         metrics,
         shard_metrics: state.metrics,
+        dumps,
     })
 }
 
@@ -632,6 +667,7 @@ fn run_attempt(
         len: len as u64,
         stats_every: opts.stats_every,
         certificate_fingerprint,
+        trace: campaign.trace().cloned(),
     });
     {
         let mut stdin = child.stdin.take().expect("stdin was piped");
@@ -703,6 +739,18 @@ fn run_attempt(
                     let _ = child.kill();
                     killed = true;
                 }
+            }
+            Frame::TraceDump { seq, dump } => {
+                // A dump frame must ride directly behind its own row.
+                if seq.checked_add(1) != Some(expected) {
+                    break Err(format!(
+                        "trace-dump for trial {seq} did not follow its row (next row: {expected})"
+                    ));
+                }
+                let mut state = signals.state.lock().expect("coordinator lock");
+                // A retried shard re-sends dumps; duplicates are
+                // byte-identical (same seed), so the first copy wins.
+                state.dumps.entry(seq).or_insert(dump);
             }
             Frame::Stats { rows, stats } => {
                 if rows != received {

@@ -20,7 +20,9 @@
 //! [`Frame::Handshake`] (magic + protocol version + the full
 //! [`Scenario`] + the shard's trial range) down the worker's stdin;
 //! the worker streams [`Frame::TrialRow`] frames (one CSV row per
-//! trial, in trial order) up its stdout, interleaved with periodic
+//! trial, in trial order) up its stdout — each optionally followed by
+//! a [`Frame::TraceDump`] when the handshake configured tracing and
+//! the trial matched the dump policy — interleaved with periodic
 //! [`Frame::Stats`] progress snapshots, and finishes with one
 //! [`Frame::Done`] carrying the shard's authoritative
 //! [`CampaignStats`]. Anything else — wrong first frame, out-of-order
@@ -28,7 +30,7 @@
 //! the coordinator treats as a dead shard.
 
 use certify_core::codec::{decode_exact, DecodeError, Reader, Wire};
-use certify_core::{CampaignStats, Scenario};
+use certify_core::{CampaignStats, Scenario, TraceConfig, TraceDump};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -37,8 +39,9 @@ pub const MAGIC: u32 = 0x4353_4844;
 
 /// Protocol version carried in every handshake. Bump on any change to
 /// the frame layout or payload encodings. Version 2 added the
-/// scenario-certificate fingerprint to the handshake.
-pub const VERSION: u16 = 2;
+/// scenario-certificate fingerprint to the handshake; version 3 added
+/// the optional tracing configuration and the trace-dump frame.
+pub const VERSION: u16 = 3;
 
 /// Upper bound on `len`: no legal frame is anywhere near this large,
 /// so a longer prefix means a corrupt or hostile stream — reject it
@@ -49,6 +52,7 @@ const KIND_HANDSHAKE: u8 = 1;
 const KIND_TRIAL_ROW: u8 = 2;
 const KIND_STATS: u8 = 3;
 const KIND_DONE: u8 = 4;
+const KIND_TRACE_DUMP: u8 = 5;
 
 /// The coordinator → worker job description.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +75,10 @@ pub struct Handshake {
     /// must agree on what the campaign is allowed to observe before a
     /// single trial runs.
     pub certificate_fingerprint: u64,
+    /// Tracing configuration: `Some` runs every shard trial with a
+    /// flight recorder and streams a [`Frame::TraceDump`] after each
+    /// trial row the dump policy selects.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Wire for Handshake {
@@ -83,6 +91,7 @@ impl Wire for Handshake {
         self.len.encode(out);
         self.stats_every.encode(out);
         self.certificate_fingerprint.encode(out);
+        self.trace.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Handshake, DecodeError> {
         let magic = u32::decode(r)?;
@@ -104,11 +113,18 @@ impl Wire for Handshake {
             len: u64::decode(r)?,
             stats_every: u64::decode(r)?,
             certificate_fingerprint: u64::decode(r)?,
+            trace: Option::decode(r)?,
         })
     }
 }
 
 /// One protocol frame.
+///
+/// The `Handshake` variant dwarfs the rest, but frames are transient:
+/// one lives on the stack per read/write and is destructured
+/// immediately — nothing ever stores a `Vec<Frame>` — so boxing would
+/// buy an allocation per message and save nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Coordinator → worker: the job (sent exactly once, first).
@@ -120,6 +136,17 @@ pub enum Frame {
         seq: u64,
         /// The rendered CSV row, including the trailing newline.
         row: Vec<u8>,
+    },
+    /// Worker → coordinator: one anomalous trial's flight-recorder
+    /// dump, sent immediately after that trial's [`Frame::TrialRow`].
+    /// The dump itself carries no sequence number (so it compares
+    /// byte-identical to an in-process capture); the frame supplies
+    /// it.
+    TraceDump {
+        /// Global trial index the dump belongs to.
+        seq: u64,
+        /// The captured flight recorder.
+        dump: TraceDump,
     },
     /// Worker → coordinator: periodic progress snapshot.
     Stats {
@@ -143,6 +170,7 @@ impl Frame {
         match self {
             Frame::Handshake(_) => KIND_HANDSHAKE,
             Frame::TrialRow { .. } => KIND_TRIAL_ROW,
+            Frame::TraceDump { .. } => KIND_TRACE_DUMP,
             Frame::Stats { .. } => KIND_STATS,
             Frame::Done { .. } => KIND_DONE,
         }
@@ -153,6 +181,7 @@ impl Frame {
         match self {
             Frame::Handshake(_) => "handshake",
             Frame::TrialRow { .. } => "trial-row",
+            Frame::TraceDump { .. } => "trace-dump",
             Frame::Stats { .. } => "stats",
             Frame::Done { .. } => "done",
         }
@@ -253,6 +282,10 @@ pub fn write_frame<W: Write + ?Sized>(out: &mut W, frame: &Frame) -> io::Result<
             seq.encode(&mut body);
             row.encode(&mut body);
         }
+        Frame::TraceDump { seq, dump } => {
+            seq.encode(&mut body);
+            dump.encode(&mut body);
+        }
         Frame::Stats { rows, stats } | Frame::Done { rows, stats } => {
             rows.encode(&mut body);
             stats.encode(&mut body);
@@ -310,6 +343,13 @@ pub fn read_frame<R: Read + ?Sized>(input: &mut R) -> Result<Option<Frame>, Prot
             reader.finish()?;
             Frame::TrialRow { seq, row }
         }
+        KIND_TRACE_DUMP => {
+            let mut reader = Reader::new(payload);
+            let seq = u64::decode(&mut reader)?;
+            let dump = TraceDump::decode(&mut reader)?;
+            reader.finish()?;
+            Frame::TraceDump { seq, dump }
+        }
         KIND_STATS | KIND_DONE => {
             let mut reader = Reader::new(payload);
             let rows = u64::decode(&mut reader)?;
@@ -340,16 +380,25 @@ mod tests {
             len: 64,
             stats_every: 16,
             certificate_fingerprint: 0xFEED_F00D,
+            trace: Some(TraceConfig::default()),
         }
     }
 
     fn sample_frames() -> Vec<Frame> {
         let stats = Campaign::new(Scenario::e1_root_high(), 3, 9).run_streamed(&mut NullSink);
+        let config = TraceConfig::default();
+        let (_, dump) = Scenario::golden(400)
+            .runner()
+            .run_trial_traced(131, Some(&config));
         vec![
             Frame::Handshake(sample_handshake()),
             Frame::TrialRow {
                 seq: 131,
                 row: b"131,correct,0,0,running,,42,,0,,\n".to_vec(),
+            },
+            Frame::TraceDump {
+                seq: 131,
+                dump: dump.unwrap(),
             },
             Frame::Stats {
                 rows: 16,

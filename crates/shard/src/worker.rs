@@ -19,7 +19,9 @@
 
 use crate::protocol::{read_frame, write_frame, Frame, Handshake};
 use certify_analysis::export::trial_to_csv_row;
-use certify_core::{Campaign, CampaignStats, ConformanceMonitor, TrialResult, TrialSink};
+use certify_core::{
+    Campaign, CampaignStats, ConformanceMonitor, TraceDump, TrialResult, TrialSink,
+};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -151,6 +153,19 @@ impl<W: Write> TrialSink for RemoteSink<W> {
             }
         }
     }
+
+    fn accept_dump(&mut self, seq: usize, dump: TraceDump) {
+        if self.error.is_some() {
+            return;
+        }
+        let frame = Frame::TraceDump {
+            seq: seq as u64,
+            dump,
+        };
+        if let Err(e) = write_frame(&mut self.out, &frame) {
+            self.error = Some(e);
+        }
+    }
 }
 
 /// Runs the worker conversation over the given pipes: one handshake
@@ -186,6 +201,7 @@ pub fn run_handshake<W: Write>(handshake: &Handshake, output: W) -> Result<(), W
         len,
         stats_every,
         certificate_fingerprint,
+        trace,
     } = handshake;
     let (start, len) = match (usize::try_from(*start_trial), usize::try_from(*len)) {
         (Ok(start), Ok(len)) if start.checked_add(len).is_some() => (start, len),
@@ -230,7 +246,10 @@ pub fn run_handshake<W: Write>(handshake: &Handshake, output: W) -> Result<(), W
         )));
     }
 
-    let campaign = Campaign::new(scenario.clone(), start + len, *base_seed);
+    let mut campaign = Campaign::new(scenario.clone(), start + len, *base_seed);
+    if let Some(config) = trace {
+        campaign = campaign.with_trace(config.clone());
+    }
     let sink = RemoteSink::new(output, scenario.name.clone(), *stats_every);
     // Every streamed trial is checked against the certificate; a
     // violation is a broken soundness contract, and the shard must
@@ -277,6 +296,7 @@ mod tests {
             len,
             stats_every: 2,
             certificate_fingerprint: certificate.fingerprint(),
+            trace: None,
         }
     }
 

@@ -8,7 +8,7 @@
 use certify_core::codec::{decode_exact, encode_to_vec};
 use certify_core::spec::{InjectionSpec, InjectionWindow, MemorySpec};
 use certify_core::{
-    Campaign, FaultModel, MemFaultModel, MemRegionKind, MemTarget, NullSink, Scenario,
+    Campaign, FaultModel, MemFaultModel, MemRegionKind, MemTarget, NullSink, Scenario, TraceConfig,
 };
 use certify_shard::{crc32, read_frame, write_frame, Frame, Handshake};
 use proptest::collection;
@@ -124,6 +124,7 @@ proptest! {
             start_trial: start,
             len,
             stats_every: 0,
+            trace: (preset % 2 == 0).then(|| TraceConfig::new().with_capacity(1 + len as usize)),
         };
         let frame = Frame::Handshake(handshake.clone());
         let mut pipe = Vec::new();

@@ -9,8 +9,9 @@
 //! breaks these constants and must come with a deliberate `VERSION`
 //! bump.
 
-use certify_core::{CampaignStats, Scenario};
+use certify_core::{CampaignStats, Outcome, Scenario, TraceConfig, TraceDump};
 use certify_lint::fingerprint;
+use certify_obs::trace::{TraceEvent, TraceKind, NO_CPU};
 use certify_shard::{write_frame, Frame, Handshake};
 
 /// Frames a value exactly as the wire sees it: `[len][kind|payload][crc]`.
@@ -22,23 +23,57 @@ fn framed(frame: &Frame) -> Vec<u8> {
 
 fn pinned_frames() -> Vec<(&'static str, Vec<u8>)> {
     let stats = CampaignStats::new("pin");
+    let handshake = |trace: Option<TraceConfig>| {
+        framed(&Frame::Handshake(Handshake {
+            scenario: Scenario::e3_fig3(),
+            base_seed: 7,
+            start_trial: 2,
+            len: 3,
+            stats_every: 4,
+            certificate_fingerprint: 6,
+            trace,
+        }))
+    };
     vec![
+        ("handshake-e3", handshake(None)),
         (
-            "handshake-e3",
-            framed(&Frame::Handshake(Handshake {
-                scenario: Scenario::e3_fig3(),
-                base_seed: 7,
-                start_trial: 2,
-                len: 3,
-                stats_every: 4,
-                certificate_fingerprint: 6,
-            })),
+            "handshake-e3-traced",
+            handshake(Some(TraceConfig::default())),
         ),
         (
             "trial-row",
             framed(&Frame::TrialRow {
                 seq: 5,
                 row: b"pinned,row,bytes\n".to_vec(),
+            }),
+        ),
+        (
+            "trace-dump",
+            framed(&Frame::TraceDump {
+                seq: 5,
+                dump: TraceDump {
+                    seed: 9,
+                    scenario: "pin".into(),
+                    outcome: Outcome::Correct,
+                    total: 3,
+                    dropped: 1,
+                    events: vec![
+                        TraceEvent {
+                            step: 1,
+                            cpu: 0,
+                            kind: TraceKind::HandlerEntry,
+                            arg_a: 2,
+                            arg_b: 3,
+                        },
+                        TraceEvent {
+                            step: 2,
+                            cpu: NO_CPU,
+                            kind: TraceKind::ClassifyVerdict,
+                            arg_a: 6,
+                            arg_b: 0,
+                        },
+                    ],
+                },
             }),
         ),
         (
@@ -56,8 +91,10 @@ fn pinned_frames() -> Vec<(&'static str, Vec<u8>)> {
 /// failure message prints current values) alongside a protocol
 /// `VERSION` bump.
 const GOLDEN: &[(&str, usize, u64)] = &[
-    ("handshake-e3", 214, 0xa6258fcc83ab0475),
+    ("handshake-e3", 215, 0x9242fb51c267c02c),
+    ("handshake-e3-traced", 237, 0xdb9a60ac6b673740),
     ("trial-row", 42, 0x654dd71078400e11),
+    ("trace-dump", 119, 0x649a22eaa985cd9d),
     ("stats", 148, 0xd0e28bfdd1519951),
     ("done", 148, 0xbf44227906e2af08),
 ];
@@ -83,5 +120,5 @@ fn frame_encodings_match_their_golden_fingerprints() {
 fn frame_kind_bytes_are_stable() {
     // Byte 4 (after the u32 length prefix) is the kind tag.
     let kinds: Vec<u8> = pinned_frames().iter().map(|(_, bytes)| bytes[4]).collect();
-    assert_eq!(kinds, vec![1, 2, 3, 4]);
+    assert_eq!(kinds, vec![1, 1, 2, 5, 3, 4]);
 }

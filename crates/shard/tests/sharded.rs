@@ -297,6 +297,7 @@ fn worker_with_closed_output_pipe_exits_nonzero() {
                 start_trial: 0,
                 len: 50,
                 stats_every: 4,
+                trace: None,
             }),
         )
         .expect("handshake written");
@@ -310,6 +311,119 @@ fn worker_with_closed_output_pipe_exits_nonzero() {
         status.code(),
         Some(certify_shard::worker::EXIT_STREAM_FAILED)
     );
+}
+
+#[test]
+fn sharded_trace_dumps_match_in_process_byte_for_byte() {
+    // The tracing contract across process boundaries: a traced sharded
+    // run must surface exactly the dumps an in-process run buffers,
+    // and each dump's wire encoding must be byte-identical — the dump
+    // carries no shard- or transport-specific state.
+    use certify_core::codec::encode_to_vec;
+    use certify_core::{CollectSink, TraceConfig};
+
+    let scenario = Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6());
+    let campaign = Campaign::new(scenario, 64, 0xE6D0).with_trace(TraceConfig::new());
+
+    let mut sink = CollectSink::new();
+    campaign.run_streamed(&mut sink);
+    let (_, expected) = sink.into_parts();
+    assert!(
+        !expected.is_empty(),
+        "this sweep must produce at least one anomalous dump"
+    );
+
+    let dir = std::env::temp_dir().join(format!("certify-trace-dumps-{}", std::process::id()));
+    let run = run_sharded(&campaign, &options(2).with_dump_dir(&dir), None)
+        .expect("sharded traced run succeeds");
+
+    assert_eq!(run.dumps.len(), expected.len());
+    for ((seq_a, a), (seq_b, b)) in expected.iter().zip(&run.dumps) {
+        assert_eq!(*seq_a as u64, *seq_b);
+        assert_eq!(
+            encode_to_vec(a),
+            encode_to_vec(b),
+            "trial {seq_a} dump drifted across the wire"
+        );
+    }
+
+    // Persistence: one JSON document per dump, named by global seq.
+    for (seq, dump) in &expected {
+        let path = dir.join(format!("trace-{seq:08}.json"));
+        let body = std::fs::read_to_string(&path).expect("dump file written");
+        assert_eq!(body, dump.to_json().render() + "\n");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Full-depth tracing acceptance: 500-trial sweeps of E6 and E7,
+/// traced, in-process and sharded. A dump must fire for *exactly* the
+/// anomalous trials, and the sharded dumps must be byte-identical to
+/// the in-process captures. CI runs it with
+/// `cargo test --release -p certify_shard -- --ignored`.
+#[test]
+#[ignore = "500-trial traced sweeps; execute in --release (CI does)"]
+fn traced_sweeps_dump_every_anomaly_at_depth() {
+    use certify_core::codec::encode_to_vec;
+    use certify_core::{CollectSink, DumpPolicy, TraceConfig};
+
+    for scenario in [
+        Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6()),
+        Scenario::e7_mixed(),
+    ] {
+        let campaign = Campaign::new(scenario, 500, 0xD5_2022).with_trace(TraceConfig::new());
+        let name = campaign.scenario().name.clone();
+
+        let mut sink = CollectSink::new();
+        campaign.run_streamed(&mut sink);
+        let (trials, dumps) = sink.into_parts();
+        let policy = DumpPolicy::anomalies();
+        let anomalies: Vec<usize> = trials
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| policy.wants(t.outcome))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!anomalies.is_empty(), "{name}: sweep produced no anomalies");
+        assert_eq!(
+            dumps.iter().map(|(seq, _)| *seq).collect::<Vec<_>>(),
+            anomalies,
+            "{name}: a dump must fire for exactly the anomalous trials"
+        );
+
+        let run = run_sharded(&campaign, &options(4), None)
+            .unwrap_or_else(|e| panic!("{name}: sharded traced run failed: {e:?}"));
+        assert_eq!(run.dumps.len(), dumps.len(), "{name}: sharded dump count");
+        for ((seq_a, a), (seq_b, b)) in dumps.iter().zip(&run.dumps) {
+            assert_eq!(*seq_a as u64, *seq_b, "{name}: dump order");
+            assert_eq!(
+                encode_to_vec(a),
+                encode_to_vec(b),
+                "{name}: trial {seq_a} dump drifted across the wire"
+            );
+        }
+    }
+}
+
+#[test]
+fn killed_traced_worker_recovers_without_duplicate_dumps() {
+    // A SIGKILLed shard re-runs its range; re-sent dumps must dedup to
+    // the same set an unsabotaged run produces.
+    use certify_core::codec::encode_to_vec;
+    use certify_core::TraceConfig;
+
+    let scenario = Scenario::e6_memory(MemFaultModel::SingleBitFlip, MemTarget::e6());
+    let campaign = Campaign::new(scenario, 64, 0xE6D0).with_trace(TraceConfig::new());
+
+    let clean = run_sharded(&campaign, &options(2), None).expect("clean traced run");
+    let sabotaged = run_sharded(&campaign, &options(2).with_sabotage(1, 10), None)
+        .expect("sabotaged traced run recovers");
+    assert!(sabotaged.worker_failures >= 1);
+    assert_eq!(clean.dumps.len(), sabotaged.dumps.len());
+    for ((seq_a, a), (seq_b, b)) in clean.dumps.iter().zip(&sabotaged.dumps) {
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(encode_to_vec(a), encode_to_vec(b));
+    }
 }
 
 #[test]

@@ -303,6 +303,52 @@ fn instrumented_runs_leave_results_and_csv_untouched() {
     }
 }
 
+/// The same law for the flight recorder: arming tracing must leave
+/// the CampaignStats and the CSV bytes untouched, and leaving it off
+/// (`run_trial_traced(seed, None)`) must be *exactly* `run_trial` —
+/// no recorder allocation, no extra events, identical results.
+#[test]
+fn tracing_leaves_results_and_csv_untouched() {
+    use certify_core::TraceConfig;
+
+    for (scenario, trials) in scenarios() {
+        let campaign = Campaign::new(scenario, trials, 0xD5_2022);
+        let name = campaign.scenario().name.clone();
+
+        let mut plain_sink = CsvSink::in_memory();
+        let plain_stats = campaign.run_parallel_streamed(4, &mut plain_sink);
+        let plain_csv = plain_sink.into_csv();
+
+        // Tracing off through the traced entry point.
+        let runner = campaign.scenario().runner();
+        for seq in 0..trials as u64 {
+            let seed = 0xD5_2022 + seq;
+            let (trial, dump) = runner.run_trial_traced(seed, None);
+            assert_eq!(trial, runner.run_trial(seed), "{name}: tracing-off trial");
+            assert!(dump.is_none(), "{name}: tracing off must never dump");
+        }
+
+        // Tracing on: same stats, same CSV bytes, out both engines.
+        let traced = campaign.clone().with_trace(TraceConfig::new());
+        let mut traced_sink = CsvSink::in_memory();
+        let traced_stats = traced.run_parallel_streamed(4, &mut traced_sink);
+        assert_eq!(traced_stats, plain_stats, "{name}: traced stats diverged");
+        assert_eq!(
+            traced_sink.into_csv(),
+            plain_csv,
+            "{name}: traced CSV bytes diverged"
+        );
+        let mut streamed_sink = CsvSink::in_memory();
+        let streamed_stats = traced.run_streamed(&mut streamed_sink);
+        assert_eq!(streamed_stats, plain_stats, "{name}: streamed traced stats");
+        assert_eq!(
+            streamed_sink.into_csv(),
+            plain_csv,
+            "{name}: streamed traced CSV bytes"
+        );
+    }
+}
+
 /// Same law under the real clock: `MonotonicClock` feeds nonzero
 /// timings into the histograms without perturbing the results.
 #[test]

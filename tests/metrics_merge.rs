@@ -3,13 +3,12 @@
 //!
 //! Observed campaigns fold metrics per worker thread (or per shard
 //! process) and merge at the end, so instrument correctness reduces to
-//! the same algebra `CampaignStats` obeys: merge must be associative,
-//! the default instrument must be a two-sided identity, and folding
-//! any contiguous partition shard by shard must reproduce the single
-//! fold. One caveat is structural: a [`Gauge`]'s *last level* is
-//! order-dependent by construction (merge takes the max because merged
-//! gauges answer "what was the worst level anywhere"), so the shard
-//! law is asserted on everything except that one field. Histogram
+//! the same algebra `CampaignStats` obeys: merge must be commutative
+//! and associative, the default instrument must be a two-sided
+//! identity, and folding any contiguous partition shard by shard must
+//! reproduce the single fold — on *every* field. A [`Gauge`] is a pure
+//! high-water mark (merged gauges answer "what was the worst level
+//! anywhere"), which is what makes the full laws hold. Histogram
 //! bucket-boundary and overflow behavior gets its own properties.
 
 use certify_uncertified::obs::{EngineMetrics, Histogram, PhaseSample, ShardMetrics};
@@ -82,22 +81,43 @@ fn shard_ops() -> impl Strategy<Value = Vec<ShardOp>> {
     collection::vec((any::<u8>(), any::<u64>(), 0u64..100_000), 0..32)
 }
 
-/// Everything in a [`ShardMetrics`] except the gauge's order-dependent
-/// last level — the projection the shard-fold law holds on.
-fn shard_projection(m: &ShardMetrics) -> (u64, u64, u64, u64, u64, u64, u64) {
-    (
-        m.rows.get(),
-        m.frames.get(),
-        m.frame_bytes.get(),
-        m.crc_rejects.get(),
-        m.retries.get(),
-        m.wasted_rerun_trials.get(),
-        m.elapsed_ns.high_water(),
-    )
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engine-metrics merge is commutative: a ∪ b == b ∪ a on every
+    /// field, including the gauge (a pure high-water maximum).
+    #[test]
+    fn engine_merge_is_commutative(
+        ops in engine_ops(),
+        cut in 0.0f64..1.0,
+    ) {
+        let i = (ops.len() as f64 * cut) as usize;
+        let (a, b) = (&ops[..i], &ops[i..]);
+
+        let mut left = engine_fold(a);
+        left.merge(&engine_fold(b));
+        let mut right = engine_fold(b);
+        right.merge(&engine_fold(a));
+
+        prop_assert_eq!(&left, &right, "engine merge is not commutative");
+    }
+
+    /// Shard-metrics merge is commutative on every field.
+    #[test]
+    fn shard_merge_is_commutative(
+        ops in shard_ops(),
+        cut in 0.0f64..1.0,
+    ) {
+        let i = (ops.len() as f64 * cut) as usize;
+        let (a, b) = (&ops[..i], &ops[i..]);
+
+        let mut left = shard_fold(a);
+        left.merge(&shard_fold(b));
+        let mut right = shard_fold(b);
+        right.merge(&shard_fold(a));
+
+        prop_assert_eq!(&left, &right, "shard merge is not commutative");
+    }
 
     /// Engine-metrics merge is associative and both orders equal the
     /// single fold's counters and histograms.
@@ -201,7 +221,7 @@ proptest! {
     }
 
     /// Per-shard folds merged in any contiguous partition reproduce
-    /// the single fold (modulo the gauge's last level).
+    /// the single fold, on every field.
     #[test]
     fn shard_fold_equals_single_fold(
         ops in shard_ops(),
@@ -213,10 +233,7 @@ proptest! {
             let end = (k + 1) * ops.len() / shards;
             merged.merge(&shard_fold(&ops[start..end]));
         }
-        prop_assert_eq!(
-            shard_projection(&merged),
-            shard_projection(&shard_fold(&ops))
-        );
+        prop_assert_eq!(&merged, &shard_fold(&ops));
     }
 
     /// Bucket discipline: bounds are *inclusive* uppers — a sample
